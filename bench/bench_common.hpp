@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared helpers for the reproduction benches: the paper's evaluation world
+// (Section V: 1 world -> 5 regions -> 25 zones, 31 leaf CDs; 3,197 objects
+// split 87/483/2,627 across layers) and uniform table printing.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "game/map.hpp"
+#include "game/objects.hpp"
+#include "gcopss/experiment.hpp"
+#include "metrics/report.hpp"
+#include "trace/trace.hpp"
+
+namespace bench {
+
+// Every reproduction bench also drops machine-readable results under
+// ./bench_results/ for plotting.
+inline std::string resultPath(const std::string& file) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  return "bench_results/" + file;
+}
+
+inline void exportRuns(const std::string& stem,
+                       const std::vector<gcopss::gc::RunSummary>& runs) {
+  gcopss::metrics::writeSummaryCsv(resultPath(stem + "_summary.csv"), runs);
+  for (const auto& r : runs) {
+    std::string tag = r.label;
+    for (char& c : tag) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    if (!r.latencyCdfMs.empty()) {
+      gcopss::metrics::writeCdfCsv(resultPath(stem + "_cdf_" + tag + ".csv"), r);
+    }
+    if (!r.series.empty()) {
+      gcopss::metrics::writeSeriesCsv(resultPath(stem + "_series_" + tag + ".csv"), r);
+    }
+  }
+  std::printf("(CSV written to bench_results/%s_*.csv)\n", stem.c_str());
+}
+
+inline gcopss::game::GameMap paperMap() {
+  return gcopss::game::GameMap({5, 5});
+}
+
+inline gcopss::game::ObjectDatabase paperObjects(const gcopss::game::GameMap& map) {
+  return gcopss::game::ObjectDatabase(map, gcopss::game::ObjectDatabase::paperLayerCounts());
+}
+
+inline void printHeader(const char* title, const char* paperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paperRef);
+  std::printf("================================================================\n");
+}
+
+inline void printSummaryRow(const char* label, const gcopss::gc::RunSummary& r) {
+  std::printf("%-22s mean=%10.2f ms  p50=%10.2f  p95=%10.2f  p99=%10.2f  max=%10.2f"
+              "  deliveries=%llu  load=%.3f GB\n",
+              label, r.meanMs, r.p50Ms, r.p95Ms, r.p99Ms, r.maxMs,
+              static_cast<unsigned long long>(r.deliveries), r.networkGB);
+}
+
+inline void printCdf(const char* label, const gcopss::gc::RunSummary& r) {
+  std::printf("\nCDF (%s): latency_ms cumulative_fraction\n", label);
+  for (const auto& [ms, frac] : r.latencyCdfMs) {
+    std::printf("  %12.3f  %6.3f\n", ms, frac);
+  }
+}
+
+inline void printSeries(const char* label, const gcopss::gc::RunSummary& r) {
+  std::printf("\nSeries (%s): pub_index min_ms avg_ms max_ms\n", label);
+  for (const auto& p : r.series) {
+    std::printf("  %9zu  %12.3f  %12.3f  %12.3f\n", p.index, p.minMs, p.avgMs, p.maxMs);
+  }
+}
+
+}  // namespace bench

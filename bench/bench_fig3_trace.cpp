@@ -1,0 +1,78 @@
+// Fig. 3c/3d — characteristics of the (synthetic) Counter-Strike trace:
+//   3c: CDF of the number of updates per player (heavy-tailed);
+//   3d: number of players (4-20) and number of objects per area.
+// Also prints the Section V-B per-layer object churn (the 87 top-layer
+// objects see far more changes than the 2,627 bottom-layer ones, because
+// every player can see and modify them).
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+using namespace gcopss;
+
+int main(int argc, char** argv) {
+  const std::size_t updates = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  bench::printHeader("Fig. 3c/3d — trace characteristics",
+                     "Section V-B (414 players, 4-20 per area, 3,197 objects)");
+
+  const auto map = bench::paperMap();
+  auto db = bench::paperObjects(map);
+  trace::CsTraceConfig cfg;
+  cfg.totalUpdates = updates;
+  const auto tr = trace::generateCsTrace(map, db, cfg);
+  // Apply every update so churn/snapshot statistics reflect the whole trace.
+  for (const auto& rec : tr.records) db.applyUpdate(rec.objectId, rec.size);
+
+  const auto stats = trace::computeStats(map, db, tr);
+
+  std::printf("players=%zu updates=%zu duration=%.0fs objects=%zu\n",
+              tr.playerPositions.size(), tr.records.size(), toSec(tr.duration),
+              db.totalObjects());
+
+  // --- Fig. 3c: CDF of #updates per player ---
+  SampleSet perPlayer;
+  for (auto n : stats.updatesPerPlayer) perPlayer.add(static_cast<double>(n));
+  std::printf("\nFig 3c — #updates per player: min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+              perPlayer.min(), perPlayer.percentile(0.5), perPlayer.percentile(0.9),
+              perPlayer.percentile(0.99), perPlayer.max());
+  std::printf("CDF: updates_per_player cumulative_fraction\n");
+  for (const auto& [v, q] : perPlayer.cdfPoints(25)) std::printf("  %10.0f  %6.3f\n", v, q);
+
+  // --- Fig. 3d: players and objects per area ---
+  std::printf("\nFig 3d — per area (31 areas): players [4,20], objects by layer\n");
+  std::printf("%-8s %8s %8s\n", "area", "players", "objects");
+  for (std::size_t i = 0; i < stats.playersPerArea.size(); ++i) {
+    std::printf("%-8s %8zu %8zu\n", stats.playersPerArea[i].first.toString().c_str(),
+                stats.playersPerArea[i].second, stats.objectsPerArea[i].second);
+  }
+  std::size_t minP = SIZE_MAX, maxP = 0;
+  for (const auto& [a, n] : stats.playersPerArea) {
+    (void)a;
+    minP = std::min(minP, n);
+    maxP = std::max(maxP, n);
+  }
+  std::printf("players per area: min=%zu max=%zu (paper: 4..20)\n", minP, maxP);
+
+  // --- Section V-B object churn by layer ---
+  std::printf("\nObject churn by layer (paper: top 27,742-28,587; middle 4,445-8,046;"
+              " bottom 1,700-4,730 over the full 1.69M-update trace)\n");
+  std::printf("%-8s %8s %12s %12s\n", "layer", "objects", "minUpdates", "maxUpdates");
+  for (const auto& c : db.churnByLayer(map)) {
+    std::printf("%-8zu %8zu %12llu %12llu\n", c.layer, c.objects,
+                static_cast<unsigned long long>(c.minUpdates),
+                static_cast<unsigned long long>(c.maxUpdates));
+  }
+
+  // Snapshot sizes at end of trace (Eq. 1, lambda = 0.95).
+  SampleSet sizes;
+  for (const Name& leaf : map.leafCds()) {
+    for (auto id : db.objectsIn(leaf)) {
+      sizes.add(static_cast<double>(db.object(id).snapshotBytes()));
+    }
+  }
+  std::printf("\nEq.1 snapshot sizes at end: min=%.0fB p50=%.0fB max=%.0fB\n",
+              sizes.min(), sizes.percentile(0.5), sizes.max());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 4 — update-latency CDF of G-COPSS, NDN and IP server on the 6-router
+// testbed (Section V-A): 62 players (2 per area), 1-minute trace of ~12k
+// publish events with per-player periods of 100-500 ms and 50-350 B payloads.
+//
+// Paper shape to reproduce: G-COPSS mean ~8.5 ms, entire CDF below ~55 ms;
+// IP server mean ~25.5 ms with a tail beyond 55 ms; NDN in the seconds —
+// orders of magnitude worse due to query overload and loss.
+
+#include "bench_common.hpp"
+
+using namespace gcopss;
+using namespace gcopss::gc;
+
+int main() {
+  bench::printHeader("Fig. 4 — testbed microbenchmark: update latency CDF",
+                     "Section V-A, Fig. 4 (G-COPSS 8.51 ms vs IP 25.52 ms vs NDN >> 1 s)");
+
+  const auto map = bench::paperMap();
+  const auto db = bench::paperObjects(map);
+  trace::MicrobenchTraceConfig tcfg;
+  const auto trace = trace::generateMicrobenchTrace(map, db, tcfg);
+  std::printf("players=%zu updates=%zu duration=%.0fs\n", trace.playerPositions.size(),
+              trace.records.size(), toSec(trace.duration));
+
+  GCopssRunConfig g;
+  g.topo = TopoKind::Bench6;
+  g.params = SimParams::microbench();
+  g.numRps = 1;  // RP at R1, as in Fig. 3b
+  const auto gr = runGCopssTrace(map, trace, g);
+
+  IpServerRunConfig s;
+  s.topo = TopoKind::Bench6;
+  s.params = SimParams::microbench();
+  s.numServers = 1;  // server at R1
+  const auto sr = runIpServerTrace(map, trace, s);
+
+  NdnRunConfig n;
+  const auto nr = runNdnMicrobench(map, trace, n);
+
+  std::printf("\n");
+  bench::printSummaryRow("G-COPSS", gr);
+  bench::printSummaryRow("IP server", sr);
+  bench::printSummaryRow("NDN (VoCCN/ACT)", nr);
+  std::printf("NDN drops=%llu (finite buffers under query overload)\n",
+              static_cast<unsigned long long>(nr.drops));
+
+  bench::exportRuns("fig4", {gr, sr, nr});
+  bench::printCdf("G-COPSS", gr);
+  bench::printCdf("IP server", sr);
+  bench::printCdf("NDN", nr);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 5 — traffic-concentration elimination: per-publication update-latency
+// series (min/avg/max) for
+//   (a) 3 RPs: flat, below 1/5 s throughout;
+//   (b) 2 RPs: congestion once a zone turns hot at ~70% of the packets;
+//   (c) automatic RP balancing: starts with 1 RP, splits under queueing and
+//       ends close to the manual 3-RP configuration.
+
+#include "bench_common.hpp"
+
+using namespace gcopss;
+using namespace gcopss::gc;
+
+int main(int argc, char** argv) {
+  const std::size_t updates = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  bench::printHeader("Fig. 5 — traffic concentration: latency over packet index",
+                     "Section V-B Fig. 5a/5b/5c (hot zone after 70k packets)");
+
+  const auto map = bench::paperMap();
+  const auto db = bench::paperObjects(map);
+  trace::CsTraceConfig tcfg;
+  tcfg.totalUpdates = updates;
+  tcfg.hotspotStartFrac = 0.7;
+  const auto trace = trace::generateCsTrace(map, db, tcfg);
+  std::printf("updates=%zu, hot zone from packet %zu\n", trace.records.size(),
+              static_cast<std::size_t>(0.7 * static_cast<double>(trace.records.size())));
+
+  {
+    GCopssRunConfig cfg;
+    cfg.explicitAssignment = {{"/1"}, {"/2", "/3", "/_"}, {"/4", "/5"}};
+    const auto r = runGCopssTrace(map, trace, cfg);
+    std::printf("\n(a) 3-RP: mean=%.2f ms, max=%.2f ms\n", r.meanMs, r.maxMs);
+    auto labeled = r;
+    labeled.label = "fig5a_3rp";
+    bench::exportRuns("fig5a", {labeled});
+    bench::printSeries("Fig 5a, 3 RPs", r);
+    std::fflush(stdout);
+  }
+  {
+    GCopssRunConfig cfg;
+    cfg.explicitAssignment = {{"/1", "/2", "/_"}, {"/3", "/4", "/5"}};
+    const auto r = runGCopssTrace(map, trace, cfg);
+    std::printf("\n(b) 2-RP: mean=%.2f ms, max=%.2f ms (congests after the hot zone forms)\n",
+                r.meanMs, r.maxMs);
+    auto labeled = r;
+    labeled.label = "fig5b_2rp";
+    bench::exportRuns("fig5b", {labeled});
+    bench::printSeries("Fig 5b, 2 RPs", r);
+    std::fflush(stdout);
+  }
+  {
+    GCopssRunConfig cfg;
+    cfg.autoBalance = true;
+    cfg.balance.backlogThreshold = ms(150);
+    cfg.balance.cooldown = seconds(5);
+    const auto r = runGCopssTrace(map, trace, cfg);
+    std::printf("\n(c) auto-balancing: mean=%.2f ms, max=%.2f ms, splits=%llu\n", r.meanMs,
+                r.maxMs, static_cast<unsigned long long>(r.rpSplits));
+    auto labeled = r;
+    labeled.label = "fig5c_auto";
+    bench::exportRuns("fig5c", {labeled});
+    bench::printSeries("Fig 5c, auto", r);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 6 — scalability in the number of players with 3 RPs / 3 servers:
+//   (a) response latency: G-COPSS stays flat; the IP servers hit a knee and
+//       blow up once the player count crosses their capacity;
+//   (b) aggregate network load: the server's unicast costs roughly twice the
+//       multicast's bytes, and the gap widens with the player count.
+
+#include "bench_common.hpp"
+
+using namespace gcopss;
+using namespace gcopss::gc;
+
+int main(int argc, char** argv) {
+  const SimTime duration = seconds(argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 100);
+  bench::printHeader("Fig. 6 — latency and network load vs #players (3 RPs / 3 servers)",
+                     "Section V-B Fig. 6a/6b");
+
+  const auto map = bench::paperMap();
+  const auto db = bench::paperObjects(map);
+
+  std::printf("%8s %18s %18s %14s %14s\n", "players", "G-COPSS lat(ms)", "IP lat(ms)",
+              "G-COPSS GB", "IP GB");
+  std::vector<RunSummary> exported;
+  for (std::size_t players = 50; players <= 400; players += 50) {
+    trace::CsTraceConfig tcfg;
+    tcfg.players = players;
+    // Per-player publish rate held constant (the 414-player trace's 2.4 ms
+    // aggregate inter-arrival): load scales with the player count.
+    tcfg.meanInterArrival = static_cast<SimTime>(usF(2400) * 414.0 / static_cast<double>(players));
+    tcfg.totalUpdates = static_cast<std::size_t>(duration / tcfg.meanInterArrival);
+    tcfg.seed = 42 + players;
+    const auto trace = trace::generateCsTrace(map, db, tcfg);
+
+    GCopssRunConfig g;
+    g.numRps = 3;
+    const auto gr = runGCopssTrace(map, trace, g);
+
+    IpServerRunConfig s;
+    s.numServers = 3;
+    const auto sr = runIpServerTrace(map, trace, s);
+
+    std::printf("%8zu %18.2f %18.2f %14.3f %14.3f\n", players, gr.meanMs, sr.meanMs,
+                gr.networkGB, sr.networkGB);
+    std::fflush(stdout);
+    auto g2 = gr;
+    g2.label = "gcopss_" + std::to_string(players);
+    g2.series.clear();
+    g2.latencyCdfMs.clear();
+    auto s2 = sr;
+    s2.label = "ipserver_" + std::to_string(players);
+    s2.series.clear();
+    s2.latencyCdfMs.clear();
+    exported.push_back(std::move(g2));
+    exported.push_back(std::move(s2));
+  }
+  bench::exportRuns("fig6", exported);
+  return 0;
+}

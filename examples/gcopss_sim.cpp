@@ -1,0 +1,148 @@
+// gcopss_sim — a command-line driver over the experiment harness, so new
+// scenarios can be explored without writing code.
+//
+//   ./gcopss_sim --stack gcopss --players 414 --updates 20000 --rps 3
+//   ./gcopss_sim --stack gcopss --auto --hotspot 0.7
+//   ./gcopss_sim --stack hybrid --groups 6
+//   ./gcopss_sim --stack ipserver --servers 3
+//   ./gcopss_sim --stack ndn --players 62
+//   ./gcopss_sim --stack gcopss --two-step --placement vivaldi
+//
+// Flags: --stack {gcopss|hybrid|ipserver|ndn}  --players N  --updates N
+//        --rps N  --servers N  --groups N  --auto  --two-step
+//        --hotspot FRAC  --placement {centrality|vivaldi|spread}
+//        --topo {rocketfuel|bench6}  --seed N
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "game/map.hpp"
+#include "game/objects.hpp"
+#include "gcopss/experiment.hpp"
+#include "trace/trace.hpp"
+
+using namespace gcopss;
+using namespace gcopss::gc;
+
+namespace {
+
+struct Args {
+  std::string stack = "gcopss";
+  std::size_t players = 414;
+  std::size_t updates = 20000;
+  std::size_t rps = 3;
+  std::size_t servers = 3;
+  std::size_t groups = 6;
+  bool autoBalance = false;
+  bool twoStep = false;
+  double hotspot = 1.0;
+  std::string placement = "centrality";
+  std::string topo = "rocketfuel";
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: gcopss_sim [--stack gcopss|hybrid|ipserver|ndn] [--players N]\n"
+               "                  [--updates N] [--rps N] [--servers N] [--groups N]\n"
+               "                  [--auto] [--two-step] [--hotspot FRAC]\n"
+               "                  [--placement centrality|vivaldi|spread]\n"
+               "                  [--topo rocketfuel|bench6] [--seed N]\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "--stack") a.stack = value();
+    else if (flag == "--players") a.players = std::stoull(value());
+    else if (flag == "--updates") a.updates = std::stoull(value());
+    else if (flag == "--rps") a.rps = std::stoull(value());
+    else if (flag == "--servers") a.servers = std::stoull(value());
+    else if (flag == "--groups") a.groups = std::stoull(value());
+    else if (flag == "--auto") a.autoBalance = true;
+    else if (flag == "--two-step") a.twoStep = true;
+    else if (flag == "--hotspot") a.hotspot = std::stod(value());
+    else if (flag == "--placement") a.placement = value();
+    else if (flag == "--topo") a.topo = value();
+    else if (flag == "--seed") a.seed = std::stoull(value());
+    else usage();
+  }
+  return a;
+}
+
+void printSummary(const RunSummary& r) {
+  std::printf("%s\n", r.label.c_str());
+  std::printf("  latency: mean %.2f ms  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+              r.meanMs, r.p50Ms, r.p95Ms, r.p99Ms, r.maxMs);
+  std::printf("  deliveries: %llu   network load: %.3f GB   drops: %llu\n",
+              static_cast<unsigned long long>(r.deliveries), r.networkGB,
+              static_cast<unsigned long long>(r.drops));
+  if (r.rpSplits) {
+    std::printf("  automatic RP splits: %llu\n",
+                static_cast<unsigned long long>(r.rpSplits));
+  }
+  if (r.unwantedAtEdges || r.filteredAtHosts) {
+    std::printf("  aliasing waste: %llu at edges, %llu at hosts\n",
+                static_cast<unsigned long long>(r.unwantedAtEdges),
+                static_cast<unsigned long long>(r.filteredAtHosts));
+  }
+  std::printf("  simulator events: %llu\n",
+              static_cast<unsigned long long>(r.eventsExecuted));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  game::GameMap map({5, 5});
+  game::ObjectDatabase db(map, game::ObjectDatabase::paperLayerCounts());
+
+  trace::CsTraceConfig tcfg;
+  tcfg.players = a.players;
+  tcfg.totalUpdates = a.updates;
+  tcfg.hotspotStartFrac = a.hotspot;
+  tcfg.seed = a.seed;
+  const auto trace = trace::generateCsTrace(map, db, tcfg);
+  std::printf("workload: %zu players, %zu updates over %.1f s%s\n",
+              trace.playerPositions.size(), trace.records.size(), toSec(trace.duration),
+              a.hotspot < 1.0 ? " (with flash crowd)" : "");
+
+  const TopoKind topo = a.topo == "bench6" ? TopoKind::Bench6 : TopoKind::Rocketfuel;
+
+  if (a.stack == "ipserver") {
+    IpServerRunConfig cfg;
+    cfg.topo = topo;
+    cfg.numServers = a.servers;
+    cfg.seed = a.seed;
+    printSummary(runIpServerTrace(map, trace, cfg));
+  } else if (a.stack == "ndn") {
+    trace::MicrobenchTraceConfig mcfg;
+    const auto micro = trace::generateMicrobenchTrace(map, db, mcfg);
+    NdnRunConfig cfg;
+    cfg.seed = a.seed;
+    std::printf("(the NDN baseline runs the 62-player testbed workload)\n");
+    printSummary(runNdnMicrobench(map, micro, cfg));
+  } else {
+    GCopssRunConfig cfg;
+    cfg.topo = topo;
+    cfg.numRps = a.rps;
+    cfg.autoBalance = a.autoBalance;
+    cfg.hybrid = a.stack == "hybrid";
+    cfg.hybridGroups = a.groups;
+    cfg.twoStep = a.twoStep;
+    cfg.seed = a.seed;
+    if (a.placement == "vivaldi") cfg.placement = RpPlacement::Vivaldi;
+    else if (a.placement == "spread") cfg.placement = RpPlacement::Spread;
+    printSummary(runGCopssTrace(map, trace, cfg));
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Player movement and snapshot retrieval (Section IV-A): when a player
+// enters a new sub-world it must download the snapshot of every area that
+// just became visible. This example compares the two broker strategies —
+// NDN query/response with a pipeline window, and cyclic multicast — over the
+// six movement types of Table III.
+//
+// Run: ./moving_players [moves]   (default 120)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "game/movement.hpp"
+#include "gcopss/movement_experiment.hpp"
+
+using namespace gcopss;
+using namespace gcopss::gc;
+
+int main(int argc, char** argv) {
+  const std::size_t maxMoves = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120;
+
+  game::GameMap map({5, 5});
+  game::ObjectDatabase db(map, game::ObjectDatabase::paperLayerCounts());
+
+  trace::CsTraceConfig tcfg;
+  tcfg.totalUpdates = 15000;
+  const auto bg = trace::generateCsTrace(map, db, tcfg);
+  for (const auto& rec : bg.records) db.applyUpdate(rec.objectId, rec.size);
+
+  Rng rng(3);
+  auto moves = game::generateMovements(map, rng, bg.playerPositions, bg.duration,
+                                       seconds(5), seconds(20));
+  if (moves.size() > maxMoves) moves.resize(maxMoves);
+  std::printf("%zu moves over %.0f s of game time, 3 snapshot brokers\n\n", moves.size(),
+              toSec(bg.duration));
+
+  for (const auto mode : {SnapshotMode::QueryResponse, SnapshotMode::CyclicMulticast}) {
+    MovementRunConfig cfg;
+    cfg.mode = mode;
+    cfg.qrWindow = 15;
+    const auto r = runMovementExperiment(map, db, bg, moves, cfg);
+    std::printf("%s:\n", r.label.c_str());
+    for (const auto& row : r.rows) {
+      if (row.count == 0) continue;
+      std::printf("  %-42s x%-4zu (%.1f leaf CDs) -> %8.1f ms\n", row.label.c_str(),
+                  row.count, row.avgLeafCds, row.meanMs);
+    }
+    std::printf("  total: %zu moves, mean convergence %.1f ms, network %.3f GB\n\n",
+                r.totalMoves, r.totalMeanMs, r.networkGB);
+  }
+  std::printf("Cyclic multicast converges in about one broker cycle regardless of\n"
+              "the move size, while QR pays a round-trip per pipeline batch — so its\n"
+              "convergence grows with the object count, as the paper observes.\n");
+  return 0;
+}

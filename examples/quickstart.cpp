@@ -1,0 +1,99 @@
+// Quickstart: the smallest complete G-COPSS world.
+//
+// Builds a 3-layer hierarchical game map (1 world -> 2 regions -> 2 zones
+// each), wires four COPSS routers in a line with one player behind each,
+// makes router R0 the rendezvous point for the whole hierarchy, and shows
+// the paper's visibility semantics in action: a ground unit, a plane and a
+// satellite each receive exactly the updates their position entitles them
+// to (Section III-B).
+//
+// Run: ./quickstart
+
+#include <cstdio>
+
+#include "copss/deploy.hpp"
+#include "copss/router.hpp"
+#include "des/simulator.hpp"
+#include "game/map.hpp"
+#include "gcopss/client.hpp"
+#include "net/network.hpp"
+
+using namespace gcopss;
+
+int main() {
+  // --- the game world ---
+  game::GameMap map({2, 2});
+  std::printf("Map: %zu areas, %zu leaf CDs:", map.areas().size(), map.leafCds().size());
+  for (const Name& leaf : map.leafCds()) std::printf(" %s", leaf.toString().c_str());
+  std::printf("\n\n");
+
+  // --- the network: C0-R0-R1-R2-R3, one client per router ---
+  Simulator sim;
+  Topology topo;
+  std::vector<NodeId> routers, hosts;
+  for (int i = 0; i < 4; ++i) {
+    routers.push_back(topo.addNode("R" + std::to_string(i)));
+    if (i > 0) topo.addLink(routers[i - 1], routers[i], ms(2));
+  }
+  for (int i = 0; i < 4; ++i) {
+    hosts.push_back(topo.addNode("player" + std::to_string(i)));
+    topo.addLink(hosts[i], routers[i], ms(1));
+  }
+
+  Network net(sim, topo, SimParams::largeScale());
+  std::vector<copss::CopssRouter*> r;
+  for (NodeId id : routers) {
+    r.push_back(&net.emplaceNode<copss::CopssRouter>(id, net));
+  }
+  std::vector<gc::GCopssClient*> players;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    players.push_back(&net.emplaceNode<gc::GCopssClient>(hosts[i], net, routers[i]));
+    r[i]->markHostFace(hosts[i]);
+  }
+
+  // R0 is the RP for the whole hierarchy (prefix-free: one root entry).
+  copss::RpAssignment assignment;
+  assignment.prefixToRp[Name()] = routers[0];
+  copss::installAssignment(net, routers, assignment);
+
+  // --- players take positions and subscribe accordingly ---
+  // player1: soldier in zone /1/1; player2: plane over region 1;
+  // player3: satellite over the world. player0 publishes.
+  const game::Position soldier{Name::parse("/1/1")};
+  const game::Position plane{Name::parse("/1")};
+  const game::Position satellite{Name()};
+
+  auto report = [&](std::size_t who, const char* label) {
+    players[who]->setMulticastCallback(
+        [who, label](const copss::MulticastPacket& m, SimTime now) {
+          std::printf("t=%6.1fms  %s (player %zu) sees update #%llu on %s\n", toMs(now),
+                      label, who, static_cast<unsigned long long>(m.seq),
+                      m.cds.front().toString().c_str());
+        });
+  };
+  report(1, "soldier  ");
+  report(2, "plane    ");
+  report(3, "satellite");
+
+  sim.scheduleAt(0, [&]() {
+    for (const Name& cd : map.subscriptionsFor(soldier)) players[1]->subscribe(cd);
+    for (const Name& cd : map.subscriptionsFor(plane)) players[2]->subscribe(cd);
+    for (const Name& cd : map.subscriptionsFor(satellite)) players[3]->subscribe(cd);
+  });
+
+  // --- player0 publishes one update per layer ---
+  sim.scheduleAt(ms(100), [&]() {
+    std::printf("publishing to /1/1 (zone), /1/2 (sibling zone), /1/_ (airspace over"
+                " region 1), /_ (satellite layer)\n");
+    players[0]->publish(Name::parse("/1/1"), 100, 1);  // soldier+plane+satellite
+    players[0]->publish(Name::parse("/1/2"), 100, 2);  // plane+satellite only
+    players[0]->publish(Name::parse("/1/_"), 100, 3);  // soldier+plane+satellite
+    players[0]->publish(Name::parse("/_"), 100, 4);    // everyone
+  });
+
+  sim.run();
+  std::printf("\nDone. Expected: soldier sees #1,#3,#4; plane sees all;"
+              " satellite sees all. Sibling-zone update #2 is invisible to the"
+              " soldier.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/name.hpp"
+
+namespace gcopss {
+
+// Counting Bloom filter over Names (CDs). COPSS keeps one per face in the
+// Subscription Table; counting (4-bit saturating counters widened to uint8)
+// is required because Unsubscribe must be able to remove entries.
+//
+// The filter is keyed by the name's stable 64-bit hash, so the paper's
+// "hash at the first-hop router and forward hash values" optimisation is a
+// matter of calling the uint64 overloads directly.
+class CountingBloomFilter {
+ public:
+  // `bits` counters, `k` hash functions. Defaults sized for a few thousand
+  // CDs per face at ~1e-4 false-positive rate.
+  explicit CountingBloomFilter(std::size_t bits = 1 << 14, unsigned k = 7);
+
+  void add(const Name& name) { add(name.hash()); }
+  void remove(const Name& name) { remove(name.hash()); }
+  bool possiblyContains(const Name& name) const { return possiblyContains(name.hash()); }
+
+  void add(std::uint64_t nameHash);
+  void remove(std::uint64_t nameHash);
+  bool possiblyContains(std::uint64_t nameHash) const;
+
+  void clear();
+  bool emptyHint() const { return entries_ == 0; }
+  std::size_t approxEntries() const { return entries_; }
+  std::size_t bitCount() const { return counters_.size(); }
+  unsigned hashCount() const { return k_; }
+
+  // Predicted false-positive probability at the current fill level.
+  double predictedFalsePositiveRate() const;
+
+ private:
+  std::size_t index(std::uint64_t h, unsigned i) const;
+
+  std::vector<std::uint8_t> counters_;
+  unsigned k_;
+  std::size_t entries_ = 0;  // adds minus removes (approximate set size)
+};
+
+}  // namespace gcopss

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gcopss {
+
+// 64-bit FNV-1a. Stable across runs/platforms (unlike std::hash), which we
+// need both for reproducible Bloom-filter behaviour and for the paper's
+// "hash at the first-hop router, forward hash values" optimisation.
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Finalizer from SplitMix64; good avalanche for deriving k Bloom hashes.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace gcopss

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace gcopss {
+
+// A hierarchical name. Used both as an NDN ContentName and as a COPSS
+// Content Descriptor (CD). Components are opaque strings; '/' separates
+// components in the textual form, e.g. "/1/2".
+//
+// The paper represents the "airspace" above a non-leaf map area as a leaf CD
+// written with a trailing '/' (e.g. "/1/" for the area above region 1). We
+// encode that trailing slash as a reserved final component `kAboveComponent`
+// so every CD is still a plain component sequence: "/1/" <-> Name{"1", "_"}.
+class Name {
+ public:
+  static constexpr std::string_view kAboveComponent = "_";
+
+  Name() = default;
+  explicit Name(std::vector<std::string> components)
+      : components_(std::move(components)) {}
+
+  // Parse a textual name. "/" parses to the empty (root) name; a trailing
+  // slash on a non-root name ("/1/") parses to the airspace leaf {"1","_"}.
+  static Name parse(std::string_view text);
+
+  const std::vector<std::string>& components() const { return components_; }
+  std::size_t size() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  const std::string& at(std::size_t i) const { return components_.at(i); }
+
+  // True iff this name is a (non-strict) prefix of `other`.
+  bool isPrefixOf(const Name& other) const;
+
+  // True iff this is a strict prefix of `other` (prefix and shorter).
+  bool isStrictPrefixOf(const Name& other) const {
+    return size() < other.size() && isPrefixOf(other);
+  }
+
+  Name parent() const;  // precondition: !empty()
+  Name prefix(std::size_t n) const;
+
+  Name append(std::string_view component) const;
+  Name append(const Name& suffix) const;
+
+  // The "airspace above" leaf for this (non-leaf) area: this + kAboveComponent.
+  Name aboveLeaf() const { return append(kAboveComponent); }
+  bool isAboveLeaf() const {
+    return !empty() && components_.back() == kAboveComponent;
+  }
+
+  std::string toString() const;
+  std::uint64_t hash() const;
+
+  friend bool operator==(const Name&, const Name&) = default;
+  friend std::strong_ordering operator<=>(const Name& a, const Name& b) {
+    return a.components_ <=> b.components_;
+  }
+
+ private:
+  std::vector<std::string> components_;
+};
+
+struct NameHash {
+  std::size_t operator()(const Name& n) const {
+    return static_cast<std::size_t>(n.hash());
+  }
+};
+
+}  // namespace gcopss

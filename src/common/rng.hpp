@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace gcopss {
+
+// Deterministic, seedable PRNG (xoshiro-style via SplitMix64 stream).
+// All experiments run through this so results are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc909ULL) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % range);
+  }
+
+  // Exponential with the given mean (>0).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Log-normal parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple and stateless).
+  double normal() {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weightedIndex(const std::vector<double>& weights) {
+    assert(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child stream (for per-player generators).
+  Rng fork() { return Rng(next() ^ 0xd1342543de82ef95ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gcopss

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+// Basic simulation units. SimTime is an integer nanosecond count so that
+// event ordering is exact and runs are bit-reproducible across platforms.
+namespace gcopss {
+
+using SimTime = std::int64_t;  // nanoseconds since simulation start
+using Bytes = std::uint64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr SimTime ns(std::int64_t v) { return v * kNanosecond; }
+constexpr SimTime us(std::int64_t v) { return v * kMicrosecond; }
+constexpr SimTime ms(std::int64_t v) { return v * kMillisecond; }
+constexpr SimTime seconds(std::int64_t v) { return v * kSecond; }
+constexpr SimTime minutes(std::int64_t v) { return v * kMinute; }
+
+constexpr double toMs(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double toSec(SimTime t) { return static_cast<double>(t) / kSecond; }
+
+// Fractional-millisecond helper (e.g. msF(3.3) == 3.3ms of SimTime).
+constexpr SimTime msF(double v) {
+  return static_cast<SimTime>(v * static_cast<double>(kMillisecond));
+}
+constexpr SimTime usF(double v) {
+  return static_cast<SimTime>(v * static_cast<double>(kMicrosecond));
+}
+
+constexpr double toGB(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0 * 1024.0); }
+constexpr double toMB(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+
+}  // namespace gcopss

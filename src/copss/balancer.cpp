@@ -1,0 +1,48 @@
+#include "copss/balancer.hpp"
+
+#include <algorithm>
+
+namespace gcopss::copss {
+
+void RpLoadBalancer::recordPublication(const Name& cd) {
+  window_.push_back(cd);
+  ++counts_[cd];
+  if (window_.size() > opts_.windowSize) {
+    const Name& old = window_.front();
+    const auto it = counts_.find(old);
+    if (it != counts_.end() && --it->second == 0) counts_.erase(it);
+    window_.pop_front();
+  }
+}
+
+bool RpLoadBalancer::shouldSplit(SimTime backlog, SimTime now) const {
+  if (counts_.size() < opts_.minDistinctCds) return false;
+  if (backlog < opts_.backlogThreshold) return false;
+  if (lastSplit_ >= 0 && now - lastSplit_ < opts_.cooldown) return false;
+  return true;
+}
+
+std::vector<Name> RpLoadBalancer::selectCdsToMove() const {
+  // Sort CDs by descending recent traffic, then greedily assign each to the
+  // lighter of two bins. The bin NOT containing the heaviest CD is migrated,
+  // keeping the (likely already warm) heaviest flow on the incumbent RP.
+  std::vector<std::pair<Name, std::size_t>> items(counts_.begin(), counts_.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (items.size() < 2) return {};
+
+  std::size_t load[2] = {0, 0};
+  std::vector<Name> bins[2];
+  for (const auto& [cd, count] : items) {
+    const int target = load[0] <= load[1] ? 0 : 1;
+    bins[target].push_back(cd);
+    load[target] += count;
+  }
+  // items[0] always lands in bin 0, so bin 1 is the migrating group; it is
+  // non-empty because items.size() >= 2 puts items[1] in bin 1.
+  return bins[1];
+}
+
+}  // namespace gcopss::copss

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/name.hpp"
+#include "common/units.hpp"
+
+namespace gcopss::copss {
+
+// Per-RP hot-spot detector and CD split selector (Section IV-B). The RP
+// records the CD of each multicast it serves in a sliding window of the most
+// recent N packets; when its CPU backlog (queueing delay) exceeds a
+// threshold, the balancer proposes the subset of CDs to migrate to a new RP
+// so the two RPs carry roughly equal recent load.
+class RpLoadBalancer {
+ public:
+  struct Options {
+    std::size_t windowSize = 2000;       // "recent N packets"
+    SimTime backlogThreshold = ms(150);  // queue delay that triggers a split
+    SimTime cooldown = seconds(10);      // min spacing between splits
+    std::size_t minDistinctCds = 2;      // cannot split a single CD
+  };
+
+  RpLoadBalancer() : RpLoadBalancer(Options{}) {}
+  explicit RpLoadBalancer(Options opts) : opts_(opts) {}
+
+  void recordPublication(const Name& cd);
+
+  // True if a split should be initiated given the RP's current backlog.
+  bool shouldSplit(SimTime backlog, SimTime now) const;
+
+  // Greedy balanced partition of the windowed CD counts; returns the group
+  // to hand to the new RP (never all CDs, never empty when a split is legal).
+  std::vector<Name> selectCdsToMove() const;
+
+  void markSplit(SimTime now) { lastSplit_ = now; }
+
+  const std::map<Name, std::size_t>& windowCounts() const { return counts_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  std::deque<Name> window_;
+  std::map<Name, std::size_t> counts_;
+  SimTime lastSplit_ = -1;
+};
+
+}  // namespace gcopss::copss

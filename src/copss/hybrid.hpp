@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+
+#include "copss/router.hpp"
+
+namespace gcopss::copss {
+
+// Hybrid-G-COPSS edge router (Section III-D). Content-centric functionality
+// lives at the edge while the core forwards plain group multicast:
+//   - a host publication's CD is hashed (on its HIGH-LEVEL component, so
+//     mapping tables aggregate) onto one of `numGroups` IP multicast groups;
+//     the packet is re-published carrying [group, original CDs] and routed
+//     to the group's core RP at IP forwarding speed;
+//   - host subscriptions are refcounted per group; the edge joins/leaves the
+//     group tree on the first/last host subscription mapping to it;
+//   - traffic arriving from the core is filtered against the host-facing ST;
+//     packets no local host wants are counted as `unwantedReceived` and
+//     dropped — the bandwidth price of aliasing many CDs onto few groups.
+//
+// Core routers are plain CopssRouter instances with `ipSpeedCore = true`,
+// and the group names are assigned to core RPs like ordinary CDs, which is
+// operationally identical to PIM-SM style core-based IP multicast trees.
+class HybridEdgeRouter : public CopssRouter {
+ public:
+  HybridEdgeRouter(NodeId id, Network& net, Options opts, std::size_t numGroups)
+      : CopssRouter(id, net, opts), numGroups_(numGroups) {}
+
+  static Name groupName(std::size_t i) {
+    return Name({"G", std::to_string(i)});
+  }
+  static std::vector<Name> allGroupNames(std::size_t numGroups);
+
+  // Group index a top-level CD component aliases to (stable hash).
+  static std::size_t groupIndexFor(const std::string& topComponent, std::size_t numGroups) {
+    return mix64(fnv1a64(topComponent)) % numGroups;
+  }
+
+  // The group a CD aliases to. Hashes the first (highest-level) component;
+  // the empty (root) CD maps to every group.
+  Name groupFor(const Name& cd) const;
+
+  void handle(NodeId fromFace, const PacketPtr& pkt) override;
+
+  std::uint64_t unwantedReceived() const { return unwanted_; }
+
+ private:
+  void onHostSubscribe(const Name& cd, bool subscribe);
+
+  std::size_t numGroups_;
+  std::map<Name, std::uint32_t> groupRefs_;  // group -> live host-CD count
+  std::uint64_t unwanted_ = 0;
+};
+
+}  // namespace gcopss::copss

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/name.hpp"
+#include "net/packet.hpp"
+
+namespace gcopss::copss {
+
+constexpr Bytes kControlPacketBytes = 32;
+constexpr Bytes kMulticastHeaderBytes = 32;
+
+// Subscribe / Unsubscribe: a host (or downstream router, when aggregating)
+// announces interest in a CD. Propagates hop-by-hop toward the RP(s) whose
+// served prefixes intersect the CD.
+// `scope` directs the propagation: a host sends an unscoped Subscribe; the
+// first-hop router expands it into one scoped copy per intersecting assigned
+// RP prefix, and each copy then follows the single FIB next hop toward that
+// RP ("ST is built on the reverse FIB path"). Without the scope, a coarse
+// subscription spanning several RPs would re-fan-out at every router and
+// weave a mesh instead of per-RP trees.
+struct SubscribePacket : Packet {
+  static constexpr Kind kKind = Kind::Subscribe;
+  explicit SubscribePacket(Name c)
+      : Packet(kKind, kControlPacketBytes), cd(std::move(c)) {}
+  SubscribePacket(Name c, Name s)
+      : Packet(kKind, kControlPacketBytes), cd(std::move(c)), scope(std::move(s)),
+        scoped(true) {}
+  Name cd;
+  Name scope;  // assigned prefix this copy heads for (valid when `scoped`)
+  bool scoped = false;
+};
+
+struct UnsubscribePacket : Packet {
+  static constexpr Kind kKind = Kind::Unsubscribe;
+  explicit UnsubscribePacket(Name c)
+      : Packet(kKind, kControlPacketBytes), cd(std::move(c)) {}
+  UnsubscribePacket(Name c, Name s)
+      : Packet(kKind, kControlPacketBytes), cd(std::move(c)), scope(std::move(s)),
+        scoped(true) {}
+  Name cd;
+  Name scope;
+  bool scoped = false;
+};
+
+// A published update. Carries its CDs plus their pre-computed hashes — the
+// paper's optimisation of hashing once at the first-hop router so transit
+// routers only do Bloom bit tests.
+struct MulticastPacket : Packet {
+  static constexpr Kind kKind = Kind::Multicast;
+  MulticastPacket(std::vector<Name> cdsIn, Bytes payload, SimTime published,
+                  std::uint64_t seqIn, NodeId publisherIn)
+      : Packet(kKind, kMulticastHeaderBytes + payload), cds(std::move(cdsIn)),
+        payloadSize(payload), publishedAt(published), seq(seqIn),
+        publisher(publisherIn) {
+    // "Hash at the first hop": transit routers match the ST Bloom filters on
+    // these pre-computed hashes — one per prefix level of each CD — and never
+    // touch the textual name again.
+    for (const auto& c : cds) {
+      cdHashes.push_back(c.hash());
+      for (std::size_t len = 0; len <= c.size(); ++len) {
+        prefixHashes.push_back(c.prefix(len).hash());
+      }
+    }
+  }
+
+  std::vector<Name> cds;
+  std::vector<std::uint64_t> cdHashes;        // full-CD hashes
+  std::vector<std::uint64_t> prefixHashes;    // every prefix level of every CD
+  Bytes payloadSize;
+  SimTime publishedAt;   // for end-to-end latency metrics
+  std::uint64_t seq;     // globally unique publication id (metrics/dedup)
+  NodeId publisher;      // metrics only; routers never inspect it
+};
+
+// COPSS two-step dissemination (the original ANCS'11 COPSS design that
+// G-COPSS deliberately bypasses for sub-200-byte game updates): the
+// multicast carries only a snippet announcing the content's name and size;
+// interested subscribers pull the full payload with a plain NDN Interest,
+// which aggregates in PITs and hits router caches. One-step-vs-two-step is
+// quantified by bench_ablation.
+constexpr Bytes kSnippetBytes = 24;
+
+struct AnnouncePacket : MulticastPacket {
+  AnnouncePacket(Name cd, Name content, Bytes fullSizeIn, SimTime published,
+                 std::uint64_t seqIn, NodeId publisherIn)
+      : MulticastPacket({std::move(cd)}, kSnippetBytes, published, seqIn, publisherIn),
+        contentName(std::move(content)), fullSize(fullSizeIn) {}
+  Name contentName;
+  Bytes fullSize;
+};
+
+// FIB add/remove: announces that `origin` (an RP) serves `prefixes`.
+// Flooded with duplicate suppression; routers point their FIB entry at the
+// arrival face (reverse-path), forming a shortest-path tree toward the RP.
+struct FibAddPacket : Packet {
+  static constexpr Kind kKind = Kind::FibAdd;
+  FibAddPacket(std::vector<Name> p, NodeId originIn, std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), prefixes(std::move(p)), origin(originIn),
+        txnId(txn) {}
+  std::vector<Name> prefixes;
+  NodeId origin;
+  std::uint64_t txnId;  // also the flood-suppression key
+};
+
+struct FibRemovePacket : Packet {
+  static constexpr Kind kKind = Kind::FibRemove;
+  FibRemovePacket(std::vector<Name> p, NodeId originIn, std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), prefixes(std::move(p)), origin(originIn),
+        txnId(txn) {}
+  std::vector<Name> prefixes;
+  NodeId origin;
+  std::uint64_t txnId;
+};
+
+// --- RP migration control (Section IV-B) ---
+
+// Phase 1-2: old RP hands a CD set to the new RP. Unicast hop-by-hop along
+// the old->new path; each router it traverses redirects its FIB for the CDs
+// toward the new RP and installs the relay ST entry back toward the old RP.
+struct RpHandoffPacket : Packet {
+  static constexpr Kind kKind = Kind::RpHandoff;
+  RpHandoffPacket(std::vector<Name> c, NodeId oldRpIn, NodeId newRpIn, std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), cds(std::move(c)), oldRp(oldRpIn),
+        newRp(newRpIn), txnId(txn) {}
+  std::vector<Name> cds;
+  NodeId oldRp;
+  NodeId newRp;
+  std::uint64_t txnId;
+};
+
+// Phase 3: pending-ST join/confirm/leave (the loss-free tree switch).
+struct StJoinPacket : Packet {
+  static constexpr Kind kKind = Kind::StJoin;
+  StJoinPacket(std::vector<Name> c, std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), cds(std::move(c)), txnId(txn) {}
+  std::vector<Name> cds;
+  std::uint64_t txnId;
+};
+
+struct StConfirmPacket : Packet {
+  static constexpr Kind kKind = Kind::StConfirm;
+  StConfirmPacket(std::vector<Name> c, std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), cds(std::move(c)), txnId(txn) {}
+  std::vector<Name> cds;
+  std::uint64_t txnId;
+};
+
+struct StLeavePacket : Packet {
+  static constexpr Kind kKind = Kind::StLeave;
+  StLeavePacket(std::vector<Name> c, std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), cds(std::move(c)), txnId(txn) {}
+  std::vector<Name> cds;
+  std::uint64_t txnId;
+};
+
+}  // namespace gcopss::copss

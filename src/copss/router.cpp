@@ -1,0 +1,517 @@
+#include "copss/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gcopss::copss {
+
+std::uint64_t nextMigrationTxnId() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
+CopssRouter::CopssRouter(NodeId id, Network& net, Options opts)
+    : Node(id, net), opts_(opts),
+      fwd_(ndn::Forwarder::Hooks{
+               [this](NodeId face, PacketPtr pkt) { send(face, std::move(pkt)); },
+               nullptr, nullptr},
+           opts.ndn, [this]() { return sim().now(); }),
+      st_(opts.st), balancer_(opts.balance), seqRing_(opts.dedupWindow, 0) {}
+
+void CopssRouter::addCdRoute(const Name& prefix, NodeId nextHopFace) {
+  cdFib_.insert(prefix, nextHopFace);
+}
+
+void CopssRouter::removeCdRoute(const Name& prefix, NodeId nextHopFace) {
+  cdFib_.remove(prefix, nextHopFace);
+}
+
+void CopssRouter::becomeRp(const Name& prefix) {
+  cdFib_.removePrefix(prefix);
+  cdFib_.insert(prefix, ndn::kLocalFace);
+  rpPrefixes_.insert(prefix);
+}
+
+bool CopssRouter::isRpFor(const Name& cd) const {
+  const auto faces = cdFib_.lpm(cd);
+  return std::find(faces.begin(), faces.end(), ndn::kLocalFace) != faces.end();
+}
+
+SimTime CopssRouter::serviceTime(const PacketPtr& pkt) const {
+  const SimParams& p = params();
+  switch (pkt->kind) {
+    case Packet::Kind::Interest: {
+      const auto& interest = packet_cast<ndn::InterestPacket>(pkt);
+      if (interest.encapsulated) {
+        if (opts_.ipSpeedCore) return p.ipForwardCost;
+        return isRpFor(interest.name) ? p.rpProcessCost : p.copssForwardCost;
+      }
+      return opts_.ipSpeedCore ? p.ipForwardCost : p.ndnInterestCost;
+    }
+    case Packet::Kind::Data:
+      return opts_.ipSpeedCore ? p.ipForwardCost : p.ndnDataCost;
+    case Packet::Kind::Multicast:
+      return opts_.ipSpeedCore ? p.ipForwardCost : p.copssForwardCost;
+    case Packet::Kind::Subscribe:
+    case Packet::Kind::Unsubscribe:
+      return p.subscribeCost;
+    default:
+      return p.fibUpdateCost;
+  }
+}
+
+void CopssRouter::handle(NodeId fromFace, const PacketPtr& pkt) {
+  switch (pkt->kind) {
+    case Packet::Kind::Interest: {
+      auto interest = std::static_pointer_cast<const ndn::InterestPacket>(pkt);
+      if (interest->encapsulated) {
+        onEncapInterest(fromFace, interest);
+      } else {
+        fwd_.onInterest(fromFace, interest);
+      }
+      return;
+    }
+    case Packet::Kind::Data:
+      fwd_.onData(fromFace, std::static_pointer_cast<const ndn::DataPacket>(pkt));
+      return;
+    case Packet::Kind::Subscribe:
+      onSubscribe(fromFace, packet_cast<SubscribePacket>(pkt));
+      return;
+    case Packet::Kind::Unsubscribe:
+      onUnsubscribe(fromFace, packet_cast<UnsubscribePacket>(pkt));
+      return;
+    case Packet::Kind::Multicast:
+      onMulticast(fromFace, pkt);
+      return;
+    case Packet::Kind::FibAdd:
+      onFibAdd(fromFace, packet_cast<FibAddPacket>(pkt));
+      return;
+    case Packet::Kind::RpHandoff:
+      onHandoff(fromFace, packet_cast<RpHandoffPacket>(pkt));
+      return;
+    case Packet::Kind::StJoin:
+      onJoin(fromFace, packet_cast<StJoinPacket>(pkt));
+      return;
+    case Packet::Kind::StConfirm:
+      onConfirm(fromFace, packet_cast<StConfirmPacket>(pkt));
+      return;
+    case Packet::Kind::StLeave:
+      onLeave(fromFace, packet_cast<StLeavePacket>(pkt));
+      return;
+    default:
+      return;  // IP packets never reach a COPSS router in these experiments
+  }
+}
+
+// ---------------------------------------------------------------- data path
+
+void CopssRouter::onMulticast(NodeId fromFace, const PacketPtr& pkt) {
+  const auto& mcast = packet_cast<MulticastPacket>(pkt);
+  if (fromFace == kInvalidNode || hostFaces_.count(fromFace)) {
+    // First-hop router: encapsulate in an Interest named by the CD and route
+    // toward the (unique, prefix-free) RP. CD hashes are already computed.
+    assert(!mcast.cds.empty());
+    auto interest = makePacket<ndn::InterestPacket>(
+        mcast.cds.front(), nextNonce_++, ndn::kInterestHeaderBytes + pkt->size, pkt);
+    onEncapInterest(kInvalidNode, std::static_pointer_cast<const ndn::InterestPacket>(interest));
+    return;
+  }
+  // Router-to-router multicast, traveling down an ST tree.
+  stForward(fromFace, pkt);
+}
+
+void CopssRouter::onEncapInterest(NodeId fromFace,
+                                  const std::shared_ptr<const ndn::InterestPacket>& pkt) {
+  const auto faces = cdFib_.lpm(pkt->name);
+  if (faces.empty()) {
+    ++unroutable_;
+    return;
+  }
+  if (std::find(faces.begin(), faces.end(), ndn::kLocalFace) != faces.end()) {
+    rpDeliver(fromFace, pkt->encapsulated);
+    return;
+  }
+  // Prefix-free assignment: a publication has exactly one RP direction.
+  send(faces.front(), pkt);
+}
+
+void CopssRouter::rpDeliver(NodeId arrivalFace, const PacketPtr& multicast) {
+  (void)arrivalFace;
+  const auto& mcast = packet_cast<MulticastPacket>(multicast);
+  ++rpDecapsulations_;
+  stForward(kInvalidNode, multicast);
+  for (const Name& cd : mcast.cds) balancer_.recordPublication(cd);
+  if (opts_.autoBalance) maybeSplit();
+}
+
+std::vector<NodeId>& CopssRouter::sentRecord(std::uint64_t seq) {
+  const auto it = sentFaces_.find(seq);
+  if (it != sentFaces_.end()) return it->second;
+  const std::uint64_t evicted = seqRing_[seqRingPos_];
+  if (evicted != 0) sentFaces_.erase(evicted);
+  seqRing_[seqRingPos_] = seq;
+  seqRingPos_ = (seqRingPos_ + 1) % seqRing_.size();
+  return sentFaces_[seq];
+}
+
+void CopssRouter::stForward(NodeId excludeFace, const PacketPtr& multicast) {
+  const auto& mcast = packet_cast<MulticastPacket>(multicast);
+  const auto faces = st_.matchFacesHashed(mcast.cds, mcast.prefixHashes, excludeFace);
+  auto& sent = sentRecord(mcast.seq);
+  // Transient overlapping trees (during migration, or coarse subscriptions
+  // spanning multiple RPs) can deliver a seq here more than once; each face
+  // is served exactly once, and an arrival face counts as served.
+  if (excludeFace != kInvalidNode &&
+      std::find(sent.begin(), sent.end(), excludeFace) == sent.end()) {
+    sent.push_back(excludeFace);
+  }
+  for (NodeId face : faces) {
+    if (std::find(sent.begin(), sent.end(), face) != sent.end()) {
+      ++dupSuppressed_;
+      continue;
+    }
+    sent.push_back(face);
+    if (face == ndn::kLocalFace) {
+      if (onLocalMulticast) onLocalMulticast(mcast, sim().now());
+      continue;
+    }
+    send(face, multicast);
+    ++multicastsForwarded_;
+  }
+}
+
+void CopssRouter::subscribeLocal(const Name& cd) {
+  const bool firstGlobally = st_.subscribe(ndn::kLocalFace, cd);
+  if (firstGlobally) propagateControl(ndn::kLocalFace, cd, /*subscribe=*/true);
+}
+
+void CopssRouter::publishLocal(const PacketPtr& multicast) {
+  onMulticast(kInvalidNode, multicast);
+}
+
+// ------------------------------------------------------------ subscriptions
+
+void CopssRouter::onSubscribe(NodeId fromFace, const SubscribePacket& pkt) {
+  st_.subscribe(fromFace, pkt.cd);
+  if (pkt.scoped) {
+    forwardScoped(pkt.cd, pkt.scope, /*subscribe=*/true);
+  } else {
+    propagateControl(fromFace, pkt.cd, /*subscribe=*/true);
+  }
+}
+
+void CopssRouter::onUnsubscribe(NodeId fromFace, const UnsubscribePacket& pkt) {
+  st_.unsubscribe(fromFace, pkt.cd);
+  if (pkt.scoped) {
+    forwardScoped(pkt.cd, pkt.scope, /*subscribe=*/false);
+  } else {
+    propagateControl(fromFace, pkt.cd, /*subscribe=*/false);
+  }
+}
+
+void CopssRouter::propagateControl(NodeId excludeFace, const Name& cd, bool subscribe) {
+  (void)excludeFace;
+  // A subscription to `cd` concerns every RP whose served prefix intersects
+  // it (Section III-B: subscribing to /1 means subscribing at the RPs of
+  // /1/1, /1/2, ... — the ST aggregation happens for free because the single
+  // /1 entry prefix-matches all of them on the data path). One scoped copy
+  // is launched toward each intersecting assigned prefix; each copy then
+  // travels the unique FIB path to its RP, so the resulting ST state is a
+  // reverse-path tree per RP rather than a mesh.
+  std::set<Name> scopes;
+  for (const auto& [prefix, faces] : cdFib_.intersecting(cd)) {
+    (void)faces;
+    scopes.insert(prefix);
+  }
+  for (const Name& scope : scopes) forwardScoped(cd, scope, subscribe);
+}
+
+void CopssRouter::forwardScoped(const Name& cd, const Name& scope, bool subscribe) {
+  const auto key = std::make_pair(cd.hash(), scope.hash());
+  if (subscribe) {
+    if (++scopeRefs_[key] != 1) return;  // aggregated: tree already joined
+  } else {
+    const auto it = scopeRefs_.find(key);
+    if (it == scopeRefs_.end()) return;
+    if (--it->second != 0) return;
+    scopeRefs_.erase(it);
+  }
+  for (NodeId f : cdFib_.lpm(scope)) {
+    if (f == ndn::kLocalFace) return;  // we are the RP for this scope
+    if (subscribe) {
+      send(f, makePacket<SubscribePacket>(cd, scope));
+    } else {
+      send(f, makePacket<UnsubscribePacket>(cd, scope));
+    }
+    return;  // exactly one upstream direction per scope
+  }
+}
+
+// ---------------------------------------------------- RP migration (IV-B)
+
+bool CopssRouter::forceSplit() {
+  auto cds = balancer_.selectCdsToMove();
+  if (cds.empty()) return false;
+  for (std::size_t i = 0; i < rpCandidates_.size(); ++i) {
+    const NodeId candidate = rpCandidates_[(splitsInitiated_ + i) % rpCandidates_.size()];
+    if (candidate != id()) {
+      initiateSplit(candidate, std::move(cds));
+      return true;
+    }
+  }
+  return false;
+}
+
+void CopssRouter::assumeRp(const std::vector<Name>& prefixes) {
+  const std::uint64_t txnId = nextMigrationTxnId();
+  TxnState& t = txn(txnId);
+  t.cds = prefixes;
+  t.isOrigin = true;
+  t.confirmed = true;
+  for (const Name& p : prefixes) {
+    cdFib_.removePrefix(p);
+    cdFib_.insert(p, ndn::kLocalFace);
+    rpPrefixes_.insert(p);
+  }
+  seenFloods_.insert(txnId);
+  const auto pktOut = makePacket<FibAddPacket>(prefixes, id(), txnId);
+  for (NodeId nb : network().topology().neighbors(id())) {
+    if (!hostFaces_.count(nb)) send(nb, pktOut);
+  }
+}
+
+bool CopssRouter::retireTo(NodeId target) {
+  if (target == id() || rpPrefixes_.empty()) return false;
+  std::vector<Name> prefixes(rpPrefixes_.begin(), rpPrefixes_.end());
+  initiateSplit(target, std::move(prefixes));
+  return true;
+}
+
+void CopssRouter::maybeSplit() {
+  if (rpCandidates_.empty()) return;
+  if (!balancer_.shouldSplit(cpuBacklog(), sim().now())) return;
+  auto cds = balancer_.selectCdsToMove();
+  if (cds.empty()) return;
+  // "Random" candidate selection (the paper uses a random process); keyed on
+  // the split counter so runs stay deterministic.
+  const std::uint64_t pick = mix64(0x5157 + splitsInitiated_);
+  NodeId newRp = rpCandidates_[pick % rpCandidates_.size()];
+  if (newRp == id()) newRp = rpCandidates_[(pick + 1) % rpCandidates_.size()];
+  if (newRp == id()) return;
+  initiateSplit(newRp, std::move(cds));
+}
+
+void CopssRouter::initiateSplit(NodeId newRp, std::vector<Name> cds) {
+  assert(newRp != id());
+  const std::uint64_t txnId = nextMigrationTxnId();
+  ++splitsInitiated_;
+  balancer_.markSplit(sim().now());
+
+  const NodeId towardNew = network().topology().nextHop(id(), newRp);
+  assert(towardNew != kInvalidNode);
+
+  // Phase 1: resign as RP for the moved CDs; future publications that still
+  // reach us are relayed to the new RP via the FIB.
+  for (const Name& cd : cds) {
+    rpPrefixes_.erase(cd);
+    cdFib_.removePrefix(cd);
+    cdFib_.insert(cd, towardNew);
+  }
+
+  // We remain the root of the old subscriber tree, fed by the new RP through
+  // the relay path the handoff packet is about to build.
+  TxnState& t = txn(txnId);
+  t.cds = cds;
+  t.newUpstream = towardNew;
+  t.oldUpstream = kInvalidNode;
+  t.joinSent = true;
+  t.confirmed = true;
+  t.leftOld = true;
+
+  send(towardNew, makePacket<RpHandoffPacket>(cds, id(), newRp, txnId));
+  if (onRpSplit) onRpSplit(newRp, cds);
+}
+
+void CopssRouter::onHandoff(NodeId fromFace, const RpHandoffPacket& pkt) {
+  if (pkt.newRp == id()) {
+    // Phase 2 endpoint: become the RP, keep the old RP's tree alive through
+    // a relay ST entry pointing back along the handoff path.
+    TxnState& t = txn(pkt.txnId);
+    t.cds = pkt.cds;
+    t.isOrigin = true;
+    t.confirmed = true;
+    t.newDownstream.insert(fromFace);
+    for (const Name& cd : pkt.cds) {
+      cdFib_.removePrefix(cd);
+      cdFib_.insert(cd, ndn::kLocalFace);
+      rpPrefixes_.insert(cd);
+      st_.subscribe(fromFace, cd);  // relay toward the old RP's tree
+    }
+    // Phase 3: announce ourselves network-wide.
+    seenFloods_.insert(pkt.txnId);
+    const auto pktOut = makePacket<FibAddPacket>(pkt.cds, id(), pkt.txnId);
+    for (NodeId nb : network().topology().neighbors(id())) {
+      if (!hostFaces_.count(nb)) send(nb, pktOut);
+    }
+    return;
+  }
+  // Transit router on the old->new path: redirect the CDs toward the new RP
+  // and install the reverse relay ST entry toward the old RP.
+  const NodeId next = network().topology().nextHop(id(), pkt.newRp);
+  assert(next != kInvalidNode);
+  for (const Name& cd : pkt.cds) {
+    cdFib_.removePrefix(cd);
+    cdFib_.insert(cd, next);
+    st_.subscribe(fromFace, cd);
+  }
+  TxnState& t = txn(pkt.txnId);
+  t.cds = pkt.cds;
+  t.newUpstream = next;
+  send(next, makePacket<RpHandoffPacket>(pkt.cds, pkt.oldRp, pkt.newRp, pkt.txnId));
+}
+
+void CopssRouter::onFibAdd(NodeId fromFace, const FibAddPacket& pkt) {
+  if (seenFloods_.count(pkt.txnId)) return;
+  seenFloods_.insert(pkt.txnId);
+
+  const bool hadTxn = txns_.count(pkt.txnId) > 0;
+  TxnState& t = txn(pkt.txnId);
+  if (t.cds.empty()) t.cds = pkt.prefixes;
+
+  if (!hadTxn) {
+    // Remember the old upstream (pre-flood FIB direction) so we can leave
+    // the old tree once the new one is confirmed.
+    const auto old = cdFib_.lpm(pkt.prefixes.front());
+    for (NodeId f : old) {
+      if (f != ndn::kLocalFace) {
+        t.oldUpstream = f;
+        break;
+      }
+    }
+  }
+  for (const Name& cd : pkt.prefixes) {
+    cdFib_.removePrefix(cd);
+    cdFib_.insert(cd, fromFace);
+  }
+  t.newUpstream = fromFace;
+
+  // Continue the flood (routers only; hosts never see FIB control).
+  for (NodeId nb : network().topology().neighbors(id())) {
+    if (nb != fromFace && !hostFaces_.count(nb)) {
+      send(nb, PacketPtr(std::make_shared<const FibAddPacket>(pkt)));
+    }
+  }
+
+  // Pending-ST join: if any downstream interest intersects the moved CDs,
+  // graft ourselves onto the new tree before abandoning the old one.
+  if (!t.joinSent && !t.confirmed && !t.isOrigin) {
+    bool interested = false;
+    for (const Name& cd : pkt.prefixes) {
+      if (st_.hasIntersectingSubscription(cd)) {
+        interested = true;
+        break;
+      }
+    }
+    if (interested) {
+      t.joinSent = true;
+      send(t.newUpstream, makePacket<StJoinPacket>(t.cds, pkt.txnId));
+    }
+  }
+}
+
+void CopssRouter::onJoin(NodeId fromFace, const StJoinPacket& pkt) {
+  TxnState& t = txn(pkt.txnId);
+  if (t.cds.empty()) t.cds = pkt.cds;
+
+  if (t.confirmed || t.isOrigin) {
+    // Case 2 of the paper: already in the tree — graft and confirm.
+    for (const Name& cd : t.cds) {
+      if (!st_.faceSubscribed(fromFace, cd)) st_.subscribe(fromFace, cd);
+    }
+    t.newDownstream.insert(fromFace);
+    send(fromFace, makePacket<StConfirmPacket>(t.cds, pkt.txnId));
+    return;
+  }
+  t.pendingDownstream.push_back(fromFace);
+  if (!t.joinSent) {
+    // Case 1: not in the tree — join upstream on the downstream's behalf.
+    NodeId up = t.newUpstream;
+    if (up == kInvalidNode) {
+      const auto faces = cdFib_.lpm(t.cds.front());
+      for (NodeId f : faces) {
+        if (f != ndn::kLocalFace) {
+          up = f;
+          break;
+        }
+      }
+    }
+    if (up != kInvalidNode) {
+      t.joinSent = true;
+      t.newUpstream = up;
+      send(up, makePacket<StJoinPacket>(t.cds, pkt.txnId));
+    }
+  }
+  // Case 3 (pending): nothing else to do — the downstream is queued and will
+  // be confirmed when our own confirm arrives.
+}
+
+void CopssRouter::onConfirm(NodeId fromFace, const StConfirmPacket& pkt) {
+  (void)fromFace;
+  TxnState& t = txn(pkt.txnId);
+  if (t.confirmed) return;
+  t.confirmed = true;
+  activateAndConfirmDownstream(t, pkt.txnId);
+  maybeLeaveOldTree(t, pkt.txnId);
+}
+
+void CopssRouter::activateAndConfirmDownstream(TxnState& t, std::uint64_t txnId) {
+  for (NodeId g : t.pendingDownstream) {
+    for (const Name& cd : t.cds) {
+      if (!st_.faceSubscribed(g, cd)) st_.subscribe(g, cd);
+    }
+    t.newDownstream.insert(g);
+    send(g, makePacket<StConfirmPacket>(t.cds, txnId));
+  }
+  t.pendingDownstream.clear();
+}
+
+void CopssRouter::maybeLeaveOldTree(TxnState& t, std::uint64_t txnId) {
+  if (t.leftOld) return;
+  t.leftOld = true;
+  if (t.oldUpstream != kInvalidNode && t.oldUpstream != t.newUpstream) {
+    send(t.oldUpstream, makePacket<StLeavePacket>(t.cds, txnId));
+  }
+}
+
+void CopssRouter::onLeave(NodeId fromFace, const StLeavePacket& pkt) {
+  TxnState& t = txn(pkt.txnId);
+  if (t.cds.empty()) t.cds = pkt.cds;
+  for (const Name& cd : pkt.cds) {
+    if (st_.faceSubscribed(fromFace, cd)) {
+      st_.unsubscribe(fromFace, cd);  // relay/join-installed leaf entry
+    } else {
+      st_.prune(fromFace, cd);  // coarser subscription: stop this CD only
+    }
+  }
+  t.newDownstream.erase(fromFace);
+  checkDismantle(pkt.txnId, pkt.cds);
+}
+
+void CopssRouter::checkDismantle(std::uint64_t txnId, const std::vector<Name>& cds) {
+  TxnState& t = txn(txnId);
+  for (const Name& cd : cds) {
+    if (isRpFor(cd)) return;                  // tree roots never dismantle
+    if (!st_.facesMatching(cd).empty()) return;  // live downstream remains
+  }
+  // No remaining interest below us: unhook from both trees.
+  if (t.confirmed && t.newUpstream != kInvalidNode) {
+    send(t.newUpstream, makePacket<StLeavePacket>(t.cds, txnId));
+    t.confirmed = false;
+  }
+  if (!t.leftOld && t.oldUpstream != kInvalidNode) {
+    send(t.oldUpstream, makePacket<StLeavePacket>(t.cds, txnId));
+    t.leftOld = true;
+  }
+}
+
+}  // namespace gcopss::copss

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "copss/balancer.hpp"
+#include "copss/packets.hpp"
+#include "copss/st.hpp"
+#include "ndn/forwarder.hpp"
+#include "net/network.hpp"
+
+namespace gcopss::copss {
+
+// A G-COPSS router (Fig. 2): an NDN forwarding engine plus the COPSS engine
+// (Subscription Table, RP role, dynamic RP balancing). Backward compatible
+// with plain NDN: Interest/Data without COPSS encapsulation flow through the
+// embedded NDN forwarder untouched, so query/response applications (the QR
+// snapshot broker) run over the same routers.
+//
+// Data path for a publication (Section III-C):
+//   host --Multicast--> first-hop router: pre-hash CDs, encapsulate in an
+//   Interest named by the CD, forward along the CD FIB toward the unique
+//   (prefix-free) RP; the RP decapsulates and multicasts down the ST tree;
+//   transit routers forward Multicast packets by ST prefix match.
+class CopssRouter : public Node {
+ public:
+  struct Options {
+    SubscriptionTable::Options st;
+    ndn::Forwarder::Options ndn;
+    // Hybrid-G-COPSS: this router is an IP-speed core that forwards group
+    // multicast at plain-IP cost and never inspects CDs beyond the group.
+    bool ipSpeedCore = false;
+    // Dynamic RP balancing (Section IV-B).
+    bool autoBalance = false;
+    RpLoadBalancer::Options balance;
+    // Dedup window for multicast seqs (loop/duplicate suppression during
+    // tree reconfiguration).
+    std::size_t dedupWindow = 1 << 14;
+  };
+
+  CopssRouter(NodeId id, Network& net) : CopssRouter(id, net, Options{}) {}
+  CopssRouter(NodeId id, Network& net, Options opts);
+
+  // ---- static control plane (installed by the deployment helper) ----
+  void addCdRoute(const Name& prefix, NodeId nextHopFace);
+  void removeCdRoute(const Name& prefix, NodeId nextHopFace);
+  void becomeRp(const Name& prefix);
+  bool isRpFor(const Name& cd) const;
+  const std::set<Name>& rpPrefixes() const { return rpPrefixes_; }
+  // Faces leading to end hosts (not flooded with FIB updates).
+  void markHostFace(NodeId face) { hostFaces_.insert(face); }
+  bool isHostFace(NodeId face) const { return hostFaces_.count(face) > 0; }
+
+  // Candidate routers eligible to become a new RP when auto-balancing.
+  void setRpCandidates(std::vector<NodeId> candidates) {
+    rpCandidates_ = std::move(candidates);
+  }
+  // Notification hook: this RP migrated `cds` to `newRp`.
+  std::function<void(NodeId newRp, const std::vector<Name>& cds)> onRpSplit;
+
+  // ---- node-local application support (e.g. a broker co-located with the
+  // router, the paper's "decentralized set of servers") ----
+  // Subscribe the local application to `cd`; matching multicasts are handed
+  // to `onLocalMulticast` instead of a network face.
+  void subscribeLocal(const Name& cd);
+  std::function<void(const MulticastPacket&, SimTime now)> onLocalMulticast;
+  // Publish from the local application as if this router were the first hop.
+  void publishLocal(const PacketPtr& multicast);
+
+  // ---- Node interface ----
+  void handle(NodeId fromFace, const PacketPtr& pkt) override;
+  SimTime serviceTime(const PacketPtr& pkt) const override;
+
+  // ---- introspection (tests / benches) ----
+  SubscriptionTable& st() { return st_; }
+  const SubscriptionTable& st() const { return st_; }
+  ndn::Forwarder& ndnEngine() { return fwd_; }
+  ndn::Fib& cdFib() { return cdFib_; }
+  std::uint64_t multicastsForwarded() const { return multicastsForwarded_; }
+  std::uint64_t rpDecapsulations() const { return rpDecapsulations_; }
+  std::uint64_t unroutablePublications() const { return unroutable_; }
+  std::uint64_t duplicatesSuppressed() const { return dupSuppressed_; }
+  std::uint64_t splitsInitiated() const { return splitsInitiated_; }
+
+  // Force a split now (tests); returns false if no split is possible.
+  bool forceSplit();
+
+  // Retire as an RP entirely: migrate every served prefix to `target` using
+  // the same loss-free handoff machinery (the "delete RPs" half of Section
+  // IV-B's dynamic add/delete). Returns false if this router serves nothing
+  // or target is this router.
+  bool retireTo(NodeId target);
+
+  // Failure recovery: take over `prefixes` whose RP has crashed. Becomes the
+  // RP and floods the FIB change; every interested router re-homes onto this
+  // router's tree via the join/confirm machinery (leaves toward the dead RP
+  // fall into the void, harmlessly). Publications routed to the dead RP
+  // during the outage are lost — the recovery bounds the loss window, it
+  // cannot undo it.
+  void assumeRp(const std::vector<Name>& prefixes);
+
+ private:
+  // -- packet handlers --
+  void onSubscribe(NodeId fromFace, const SubscribePacket& pkt);
+  void onUnsubscribe(NodeId fromFace, const UnsubscribePacket& pkt);
+  void onMulticast(NodeId fromFace, const PacketPtr& pkt);
+  void onEncapInterest(NodeId fromFace, const std::shared_ptr<const ndn::InterestPacket>& pkt);
+  void onFibAdd(NodeId fromFace, const FibAddPacket& pkt);
+  void onHandoff(NodeId fromFace, const RpHandoffPacket& pkt);
+  void onJoin(NodeId fromFace, const StJoinPacket& pkt);
+  void onConfirm(NodeId fromFace, const StConfirmPacket& pkt);
+  void onLeave(NodeId fromFace, const StLeavePacket& pkt);
+
+  // Deliver a decapsulated publication as the RP: ST multicast + balancing.
+  void rpDeliver(NodeId arrivalFace, const PacketPtr& multicast);
+  // Forward a Multicast along the ST tree, to faces not yet served for this
+  // seq (per-face suppression: duplicates are dropped per face, never in a
+  // way that starves a subtree).
+  void stForward(NodeId excludeFace, const PacketPtr& multicast);
+
+  // Expand an unscoped host (un)subscription over the intersecting assigned
+  // prefixes and forward one scoped copy toward each RP.
+  void propagateControl(NodeId excludeFace, const Name& cd, bool subscribe);
+  // Forward one scoped (un)subscribe copy toward its RP (aggregated on a
+  // per-(cd, scope) refcount).
+  void forwardScoped(const Name& cd, const Name& scope, bool subscribe);
+
+  // Faces already served with seq (creates the record on first use).
+  std::vector<NodeId>& sentRecord(std::uint64_t seq);
+  void maybeSplit();
+  void initiateSplit(NodeId newRp, std::vector<Name> cds);
+
+  // Per-migration state at this router (Section IV-B, phase 3).
+  struct TxnState {
+    std::vector<Name> cds;
+    NodeId newUpstream = kInvalidNode;  // face toward the new RP
+    NodeId oldUpstream = kInvalidNode;  // pre-flood FIB face toward the old RP
+    bool isOrigin = false;              // this router is the new RP
+    bool joinSent = false;
+    bool confirmed = false;
+    bool leftOld = false;
+    std::vector<NodeId> pendingDownstream;  // joins awaiting our confirm
+    std::set<NodeId> newDownstream;
+  };
+  TxnState& txn(std::uint64_t id) { return txns_[id]; }
+  void activateAndConfirmDownstream(TxnState& t, std::uint64_t txnId);
+  void maybeLeaveOldTree(TxnState& t, std::uint64_t txnId);
+  void checkDismantle(std::uint64_t txnId, const std::vector<Name>& cds);
+
+  Options opts_;
+  ndn::Forwarder fwd_;
+  ndn::Fib cdFib_;  // CD prefix -> face toward the serving RP (local = we are RP)
+  SubscriptionTable st_;
+  std::set<Name> rpPrefixes_;
+  std::set<NodeId> hostFaces_;
+  std::vector<NodeId> rpCandidates_;
+  RpLoadBalancer balancer_;
+
+  std::map<std::uint64_t, TxnState> txns_;
+  std::unordered_set<std::uint64_t> seenFloods_;
+  // seq -> faces already served; ring-evicted.
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> sentFaces_;
+  std::vector<std::uint64_t> seqRing_;
+  std::size_t seqRingPos_ = 0;
+  // (cd hash, scope hash) -> downstream refcount for scoped propagation.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> scopeRefs_;
+
+  std::uint64_t multicastsForwarded_ = 0;
+  std::uint64_t rpDecapsulations_ = 0;
+  std::uint64_t unroutable_ = 0;
+  std::uint64_t dupSuppressed_ = 0;
+  std::uint64_t splitsInitiated_ = 0;
+  std::uint64_t nextNonce_ = (static_cast<std::uint64_t>(id()) << 32) + 1;
+};
+
+// Global migration-transaction id source (monotonic; deterministic because
+// splits themselves are deterministic).
+std::uint64_t nextMigrationTxnId();
+
+}  // namespace gcopss::copss

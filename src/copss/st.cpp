@@ -1,0 +1,176 @@
+#include "copss/st.hpp"
+
+#include <algorithm>
+
+namespace gcopss::copss {
+
+bool SubscriptionTable::subscribe(NodeId face, const Name& cd) {
+  auto it = table_.find(face);
+  if (it == table_.end()) {
+    it = table_.emplace(face, FaceEntry(opts_.bloomBits, opts_.bloomHashes)).first;
+  }
+  FaceEntry& e = it->second;
+  if (++e.exact[cd] == 1) e.bloom.add(cd);
+  ++e.exactHashes[cd.hash()];
+  // A fresh subscription clears prunes of this CD and of anything below it.
+  for (auto pit = e.pruned.begin(); pit != e.pruned.end();) {
+    if (cd.isPrefixOf(*pit)) {
+      pit = e.pruned.erase(pit);
+    } else {
+      ++pit;
+    }
+  }
+  return ++globalRefcount_[cd] == 1;
+}
+
+bool SubscriptionTable::unsubscribe(NodeId face, const Name& cd) {
+  const auto it = table_.find(face);
+  if (it == table_.end()) return false;
+  FaceEntry& e = it->second;
+  const auto cit = e.exact.find(cd);
+  if (cit == e.exact.end()) return false;
+  if (--cit->second == 0) {
+    e.exact.erase(cit);
+    e.bloom.remove(cd);
+  }
+  const auto hit = e.exactHashes.find(cd.hash());
+  if (hit != e.exactHashes.end() && --hit->second == 0) e.exactHashes.erase(hit);
+  if (e.exact.empty()) table_.erase(it);
+
+  const auto git = globalRefcount_.find(cd);
+  if (git != globalRefcount_.end() && --git->second == 0) {
+    globalRefcount_.erase(git);
+    return true;
+  }
+  return false;
+}
+
+bool SubscriptionTable::faceMatches(const FaceEntry& e,
+                                    const std::vector<Name>& cds) const {
+  for (const Name& cd : cds) {
+    if (e.pruned.count(cd)) continue;
+    // Check the filter for every prefix level of the CD (the paper's
+    // "/sports and /sports/football" walk).
+    bool bloomHit = false;
+    for (std::size_t len = 0; len <= cd.size() && !bloomHit; ++len) {
+      const Name p = cd.prefix(len);
+      if (opts_.useBloom) {
+        if (e.bloom.possiblyContains(p)) {
+          bloomHit = true;
+          if (!e.exact.count(p)) ++bloomFalsePositives_;
+        }
+      } else if (e.exact.count(p)) {
+        bloomHit = true;
+      }
+    }
+    if (bloomHit) return true;
+  }
+  return false;
+}
+
+bool SubscriptionTable::faceMatchesHashed(
+    const FaceEntry& e, const std::vector<Name>& cds,
+    const std::vector<std::uint64_t>& prefixHashes) const {
+  if (!e.pruned.empty()) return faceMatches(e, cds);  // slow path during migration
+  for (std::uint64_t h : prefixHashes) {
+    if (opts_.useBloom) {
+      if (e.bloom.possiblyContains(h)) {
+        if (!e.exactHashes.count(h)) ++bloomFalsePositives_;
+        return true;
+      }
+    } else if (e.exactHashes.count(h)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> SubscriptionTable::matchFaces(const std::vector<Name>& cds,
+                                                  NodeId excludeFace) const {
+  std::vector<NodeId> out;
+  for (const auto& [face, entry] : table_) {
+    if (face == excludeFace) continue;
+    if (faceMatches(entry, cds)) out.push_back(face);
+  }
+  return out;
+}
+
+std::vector<NodeId> SubscriptionTable::matchFacesHashed(
+    const std::vector<Name>& cds, const std::vector<std::uint64_t>& prefixHashes,
+    NodeId excludeFace) const {
+  std::vector<NodeId> out;
+  for (const auto& [face, entry] : table_) {
+    if (face == excludeFace) continue;
+    if (faceMatchesHashed(entry, cds, prefixHashes)) out.push_back(face);
+  }
+  return out;
+}
+
+bool SubscriptionTable::anyMatch(const std::vector<Name>& cds, NodeId excludeFace) const {
+  for (const auto& [face, entry] : table_) {
+    if (face == excludeFace) continue;
+    if (faceMatches(entry, cds)) return true;
+  }
+  return false;
+}
+
+bool SubscriptionTable::hasIntersectingSubscription(const Name& cd) const {
+  for (const auto& [sub, count] : globalRefcount_) {
+    (void)count;
+    if (sub.isPrefixOf(cd) || cd.isPrefixOf(sub)) return true;
+  }
+  return false;
+}
+
+void SubscriptionTable::prune(NodeId face, const Name& cd) {
+  const auto it = table_.find(face);
+  if (it == table_.end()) return;
+  it->second.pruned.insert(cd);
+}
+
+bool SubscriptionTable::isPruned(NodeId face, const Name& cd) const {
+  const auto it = table_.find(face);
+  return it != table_.end() && it->second.pruned.count(cd) > 0;
+}
+
+std::vector<NodeId> SubscriptionTable::facesMatching(const Name& cd) const {
+  return matchFaces({cd});
+}
+
+std::vector<NodeId> SubscriptionTable::faces() const {
+  std::vector<NodeId> out;
+  out.reserve(table_.size());
+  for (const auto& [face, entry] : table_) {
+    (void)entry;
+    out.push_back(face);
+  }
+  return out;
+}
+
+std::vector<Name> SubscriptionTable::cdsOnFace(NodeId face) const {
+  std::vector<Name> out;
+  const auto it = table_.find(face);
+  if (it == table_.end()) return out;
+  out.reserve(it->second.exact.size());
+  for (const auto& [cd, count] : it->second.exact) {
+    (void)count;
+    out.push_back(cd);
+  }
+  return out;
+}
+
+bool SubscriptionTable::faceSubscribed(NodeId face, const Name& cd) const {
+  const auto it = table_.find(face);
+  return it != table_.end() && it->second.exact.count(cd) > 0;
+}
+
+std::size_t SubscriptionTable::entryCount() const {
+  std::size_t n = 0;
+  for (const auto& [face, entry] : table_) {
+    (void)face;
+    n += entry.exact.size();
+  }
+  return n;
+}
+
+}  // namespace gcopss::copss

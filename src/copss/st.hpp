@@ -1,0 +1,99 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bloom.hpp"
+#include "common/name.hpp"
+#include "net/packet.hpp"
+
+namespace gcopss::copss {
+
+// Subscription Table: <Face, BloomFilter<CD>> plus an exact refcounted CD map
+// per face. The Bloom filter is the paper's data-path structure (checked for
+// every prefix of an incoming CD); the exact map supports Unsubscribe
+// refcounting, upstream aggregation decisions, and an exact-match mode used
+// by the ablation bench to quantify Bloom false-positive leakage.
+class SubscriptionTable {
+ public:
+  struct Options {
+    bool useBloom = true;     // false = exact matching (ablation)
+    std::size_t bloomBits = 1 << 14;
+    unsigned bloomHashes = 7;
+  };
+
+  SubscriptionTable() : SubscriptionTable(Options{}) {}
+  explicit SubscriptionTable(Options opts) : opts_(opts) {}
+
+  // Returns true if this is the first subscription for `cd` across all faces
+  // (i.e. the router should propagate the Subscribe upstream).
+  bool subscribe(NodeId face, const Name& cd);
+
+  // Returns true if no face remains subscribed to `cd` afterwards.
+  bool unsubscribe(NodeId face, const Name& cd);
+
+  // Faces that must receive a multicast carrying `cds` — every face whose
+  // filter matches any prefix of any carried CD, minus faces pruned for all
+  // of the carried CDs, excluding `excludeFace` (the arrival face).
+  std::vector<NodeId> matchFaces(const std::vector<Name>& cds,
+                                 NodeId excludeFace = kInvalidNode) const;
+
+  // Fast path used on the data plane: `prefixHashes` are the pre-computed
+  // hashes of every prefix level of every CD (the paper's hash-at-first-hop
+  // optimisation); `cds` is only consulted on faces with active prunes.
+  std::vector<NodeId> matchFacesHashed(const std::vector<Name>& cds,
+                                       const std::vector<std::uint64_t>& prefixHashes,
+                                       NodeId excludeFace = kInvalidNode) const;
+
+  // True if any face (excluding `excludeFace`) would match `cds`.
+  bool anyMatch(const std::vector<Name>& cds, NodeId excludeFace = kInvalidNode) const;
+
+  // Does this table hold a subscription (on any face) whose CD intersects
+  // `cd` (is a prefix of it or has it as a prefix)? Used by the migration
+  // protocol to decide tree membership.
+  bool hasIntersectingSubscription(const Name& cd) const;
+
+  // --- migration support (Section IV-B) ---
+  // Prune: stop delivering the exact CD `cd` to `face` even though a coarser
+  // subscription on that face still matches it. Cleared by a later
+  // subscribe() of `cd` or an ancestor on the same face.
+  void prune(NodeId face, const Name& cd);
+  bool isPruned(NodeId face, const Name& cd) const;
+
+  // All faces with at least one live (non-pruned, for `cd`) matching entry.
+  std::vector<NodeId> facesMatching(const Name& cd) const;
+
+  std::vector<NodeId> faces() const;
+  std::size_t faceCount() const { return table_.size(); }
+  // Distinct CDs subscribed on `face` (exact granularity).
+  std::vector<Name> cdsOnFace(NodeId face) const;
+  bool faceSubscribed(NodeId face, const Name& cd) const;
+
+  // Total number of distinct (face, cd) subscription pairs.
+  std::size_t entryCount() const;
+
+  std::uint64_t bloomFalsePositives() const { return bloomFalsePositives_; }
+
+ private:
+  struct FaceEntry {
+    CountingBloomFilter bloom;
+    std::map<Name, std::uint32_t> exact;  // cd -> refcount
+    std::unordered_map<std::uint64_t, std::uint32_t> exactHashes;  // hash -> refcount
+    std::set<Name> pruned;
+
+    FaceEntry(std::size_t bits, unsigned k) : bloom(bits, k) {}
+  };
+
+  bool faceMatches(const FaceEntry& e, const std::vector<Name>& cds) const;
+  bool faceMatchesHashed(const FaceEntry& e, const std::vector<Name>& cds,
+                         const std::vector<std::uint64_t>& prefixHashes) const;
+
+  Options opts_;
+  std::map<NodeId, FaceEntry> table_;  // ordered for deterministic iteration
+  std::map<Name, std::uint32_t> globalRefcount_;  // cd -> #faces subscribed
+  mutable std::uint64_t bloomFalsePositives_ = 0;
+};
+
+}  // namespace gcopss::copss

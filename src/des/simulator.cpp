@@ -1,0 +1,30 @@
+#include "des/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gcopss {
+
+void Simulator::scheduleAt(SimTime when, Handler fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  stopped_ = false;
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    // Move the handler out before popping so it survives the pop.
+    Handler fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.when;
+    queue_.pop();
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+}  // namespace gcopss

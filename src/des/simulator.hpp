@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gcopss {
+
+// Deterministic discrete-event simulator. Events at equal timestamps fire in
+// scheduling order (FIFO via a monotonically increasing sequence number), so
+// a run is a pure function of its inputs and seeds.
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` to run `delay` from now (delay >= 0).
+  void schedule(SimTime delay, Handler fn) { scheduleAt(now_ + delay, std::move(fn)); }
+
+  void scheduleAt(SimTime when, Handler fn);
+
+  // Run until the event queue drains or `until` is reached (inclusive).
+  // Returns the number of events executed by this call.
+  std::uint64_t run(SimTime until = INT64_MAX);
+
+  // Request that run() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t totalEventsExecuted() const { return executed_; }
+  std::size_t pendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace gcopss

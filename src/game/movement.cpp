@@ -1,0 +1,151 @@
+#include "game/movement.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <cassert>
+#include <set>
+
+namespace gcopss::game {
+
+const char* moveTypeLabel(MoveType t) {
+  switch (t) {
+    case MoveType::ToLowerLayer: return "To lower layer";
+    case MoveType::ZoneToRegion: return "Zone -> region";
+    case MoveType::RegionToWorld: return "Region -> world";
+    case MoveType::ZoneSameRegion: return "To a different zone [same region]";
+    case MoveType::ZoneDiffRegion: return "To a different zone [different region]";
+    case MoveType::RegionToRegion: return "To a different region";
+    case MoveType::CameOnline: return "Offline player comes online";
+  }
+  return "?";
+}
+
+MoveType classifyMove(const GameMap& map, const Position& from, const Position& to) {
+  const std::size_t df = map.depthOf(from.area);
+  const std::size_t dt = map.depthOf(to.area);
+  if (dt > df) return MoveType::ToLowerLayer;
+  if (dt < df) {
+    return to.area.empty() ? MoveType::RegionToWorld : MoveType::ZoneToRegion;
+  }
+  // Lateral.
+  if (map.isBottomLayer(from.area)) {
+    return from.area.parent() == to.area.parent() ? MoveType::ZoneSameRegion
+                                                  : MoveType::ZoneDiffRegion;
+  }
+  return MoveType::RegionToRegion;
+}
+
+std::vector<Name> snapshotCdsNeeded(const GameMap& map, const Position& from,
+                                    const Position& to) {
+  const auto before = map.visibleLeafCds(from);
+  const std::set<Name> had(before.begin(), before.end());
+  std::vector<Name> out;
+  for (const Name& leaf : map.visibleLeafCds(to)) {
+    if (!had.count(leaf)) out.push_back(leaf);
+  }
+  return out;
+}
+
+Position randomMove(const GameMap& map, Rng& rng, const Position& current) {
+  const double roll = rng.uniform();
+  const std::size_t depth = map.depthOf(current.area);
+  const bool canUp = depth > 0;
+  const bool canDown = !map.isBottomLayer(current.area);
+
+  if (roll < 0.10 && canUp) {
+    return Position{current.area.parent()};
+  }
+  if (roll >= 0.10 && roll < 0.20 && canDown) {
+    const auto children = map.childrenOf(current.area);
+    return Position{
+        children[static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(children.size()) - 1))]};
+  }
+  // Lateral: pick a different area at the same depth.
+  std::vector<Name> sameDepth;
+  for (const Name& a : map.areas()) {
+    if (a.size() == depth && a != current.area) sameDepth.push_back(a);
+  }
+  if (sameDepth.empty()) return current;  // the world layer has nowhere lateral
+  return Position{
+      sameDepth[static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(sameDepth.size()) - 1))]};
+}
+
+namespace {
+
+Move makeMove(const GameMap& map, std::size_t player, SimTime at, const Position& from,
+              const Position& to) {
+  Move m;
+  m.playerId = static_cast<std::uint32_t>(player);
+  m.at = at;
+  m.from = from;
+  m.to = to;
+  m.type = classifyMove(map, from, to);
+  m.snapshotCds = snapshotCdsNeeded(map, from, to);
+  return m;
+}
+
+}  // namespace
+
+Move comeOnlineMove(const GameMap& map, std::uint32_t playerId, SimTime at,
+                    const Position& pos) {
+  Move m;
+  m.playerId = playerId;
+  m.at = at;
+  m.from = pos;
+  m.to = pos;
+  m.type = MoveType::CameOnline;
+  m.snapshotCds = map.visibleLeafCds(pos);
+  return m;
+}
+
+std::vector<Move> generateMovements(const GameMap& map, Rng& rng,
+                                    const std::vector<Position>& startPositions,
+                                    SimTime duration, const MovementConfig& cfg) {
+  assert(cfg.minInterval > 0 && cfg.maxInterval >= cfg.minInterval);
+  std::vector<Move> moves;
+  std::vector<Position> pos = startPositions;
+  // Global time-ordered generation so herd followers track current positions.
+  using Item = std::pair<SimTime, std::size_t>;  // (next move time, player)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  for (std::size_t p = 0; p < pos.size(); ++p) {
+    queue.emplace(rng.uniformInt(cfg.minInterval, cfg.maxInterval), p);
+  }
+  while (!queue.empty()) {
+    const auto [t, p] = queue.top();
+    queue.pop();
+    if (t >= duration) continue;
+    const Position next = randomMove(map, rng, pos[p]);
+    if (next.area != pos[p].area) {
+      const Position from = pos[p];
+      moves.push_back(makeMove(map, p, t, from, next));
+      pos[p] = next;
+      if (cfg.groupFollowProb > 0.0) {
+        std::size_t followers = 0;
+        for (std::size_t q = 0; q < pos.size() && followers < cfg.maxFollowers; ++q) {
+          if (q == p || pos[q].area != from.area) continue;
+          if (!rng.bernoulli(cfg.groupFollowProb)) continue;
+          const SimTime ft = t + rng.uniformInt(1, cfg.followerSpread);
+          moves.push_back(makeMove(map, q, ft, pos[q], next));
+          pos[q] = next;
+          ++followers;
+        }
+      }
+    }
+    queue.emplace(t + rng.uniformInt(cfg.minInterval, cfg.maxInterval), p);
+  }
+  std::sort(moves.begin(), moves.end(),
+            [](const Move& a, const Move& b) { return a.at < b.at; });
+  return moves;
+}
+
+std::vector<Move> generateMovements(const GameMap& map, Rng& rng,
+                                    const std::vector<Position>& startPositions,
+                                    SimTime duration, SimTime minInterval,
+                                    SimTime maxInterval) {
+  MovementConfig cfg;
+  cfg.minInterval = minInterval;
+  cfg.maxInterval = maxInterval;
+  return generateMovements(map, rng, startPositions, duration, cfg);
+}
+
+}  // namespace gcopss::game

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "game/map.hpp"
+
+namespace gcopss::game {
+
+// The six movement categories of Table III.
+enum class MoveType {
+  ToLowerLayer,     // e.g. 1/ -> 1/1 (plane landing): nothing to download
+  ZoneToRegion,     // e.g. 1/1 -> 1/ (take-off): sibling-zone snapshots
+  RegionToWorld,    // e.g. 1/ -> / (satellite launch): most of the map
+  ZoneSameRegion,   // e.g. 1/1 -> 1/2: one zone snapshot
+  ZoneDiffRegion,   // e.g. 2/3 -> 3/2: zone + its region airspace
+  RegionToRegion,   // e.g. 1/ -> 2/: the whole target region subtree
+  CameOnline,       // offline player returns: whole visible set (Section IV-A)
+};
+
+const char* moveTypeLabel(MoveType t);
+
+struct Move {
+  std::uint32_t playerId = 0;
+  SimTime at = 0;
+  Position from;
+  Position to;
+  MoveType type{};
+  std::vector<Name> snapshotCds;  // newly visible leaf CDs to download
+};
+
+MoveType classifyMove(const GameMap& map, const Position& from, const Position& to);
+
+// Leaf CDs that become visible by moving from -> to (the download set of
+// Table III): visible(to) \ visible(from).
+std::vector<Name> snapshotCdsNeeded(const GameMap& map, const Position& from,
+                                    const Position& to);
+
+// One random move per the paper's model: 10% up (if possible), 10% down
+// (if possible), otherwise lateral within the same layer.
+Position randomMove(const GameMap& map, Rng& rng, const Position& current);
+
+struct MovementConfig {
+  SimTime minInterval = minutes(5);
+  SimTime maxInterval = minutes(35);
+  // Group movement (Section IV-A: "it is quite common for a team or group of
+  // players to move at roughly the same time to a different area"): when a
+  // player moves, each other player currently in the same area follows with
+  // this probability (up to maxFollowers), within followerSpread.
+  double groupFollowProb = 0.0;
+  std::size_t maxFollowers = 8;
+  SimTime followerSpread = ms(500);
+};
+
+// A "player comes online" pseudo-move at `pos` (Section IV-A's offline
+// support): the returning player must download a snapshot of everything it
+// can see, served by the same broker machinery as regular moves.
+Move comeOnlineMove(const GameMap& map, std::uint32_t playerId, SimTime at,
+                    const Position& pos);
+
+// A movement timeline for `startPositions.size()` players over `duration`:
+// each player moves after intervals uniform in [minInterval, maxInterval];
+// optionally with herd behaviour per `cfg`.
+std::vector<Move> generateMovements(const GameMap& map, Rng& rng,
+                                    const std::vector<Position>& startPositions,
+                                    SimTime duration, const MovementConfig& cfg);
+
+// Back-compat convenience overload.
+std::vector<Move> generateMovements(const GameMap& map, Rng& rng,
+                                    const std::vector<Position>& startPositions,
+                                    SimTime duration,
+                                    SimTime minInterval = minutes(5),
+                                    SimTime maxInterval = minutes(35));
+
+}  // namespace gcopss::game

@@ -1,0 +1,106 @@
+#include "gcopss/client.hpp"
+
+namespace gcopss::gc {
+
+void GCopssClient::subscribe(const Name& cd) {
+  if (!subscriptions_.insert(cd).second) return;
+  ++subscriptionHashes_[cd.hash()];
+  send(edgeFace_, makePacket<copss::SubscribePacket>(cd));
+}
+
+void GCopssClient::unsubscribe(const Name& cd) {
+  if (subscriptions_.erase(cd) == 0) return;
+  const auto it = subscriptionHashes_.find(cd.hash());
+  if (it != subscriptionHashes_.end() && --it->second == 0) subscriptionHashes_.erase(it);
+  send(edgeFace_, makePacket<copss::UnsubscribePacket>(cd));
+}
+
+void GCopssClient::resubscribe(const std::vector<Name>& cds) {
+  const std::set<Name> target(cds.begin(), cds.end());
+  std::vector<Name> toDrop;
+  for (const Name& cur : subscriptions_) {
+    if (!target.count(cur)) toDrop.push_back(cur);
+  }
+  for (const Name& cd : toDrop) unsubscribe(cd);
+  for (const Name& cd : target) subscribe(cd);
+}
+
+void GCopssClient::publish(const Name& cd, Bytes payload, std::uint64_t seq,
+                           game::ObjectId obj) {
+  send(edgeFace_, makePacket<GameUpdatePacket>(cd, payload, sim().now(), seq, id(), obj));
+}
+
+void GCopssClient::publishTwoStep(const Name& cd, Bytes payload, std::uint64_t seq) {
+  const Name content = contentPrefixFor(id()).append(std::to_string(seq));
+  held_[content] = HeldContent{payload, sim().now(), seq};
+  send(edgeFace_, makePacket<copss::AnnouncePacket>(cd, content, payload, sim().now(),
+                                                    seq, id()));
+}
+
+void GCopssClient::expressInterest(const Name& name) {
+  send(edgeFace_, makePacket<ndn::InterestPacket>(name, nextNonce_++));
+}
+
+bool GCopssClient::matchesSubscription(const copss::MulticastPacket& mcast) const {
+  // A subscribed CD matching any prefix level of a carried CD means this
+  // publication is in view.
+  for (std::uint64_t h : mcast.prefixHashes) {
+    if (subscriptionHashes_.count(h)) return true;
+  }
+  return false;
+}
+
+bool GCopssClient::seenSeq(std::uint64_t seq) {
+  if (seenSeqs_.count(seq)) return true;
+  const std::uint64_t evicted = seqRing_[seqRingPos_];
+  if (evicted != 0) seenSeqs_.erase(evicted);
+  seqRing_[seqRingPos_] = seq;
+  seqRingPos_ = (seqRingPos_ + 1) % seqRing_.size();
+  seenSeqs_.insert(seq);
+  return false;
+}
+
+void GCopssClient::handle(NodeId fromFace, const PacketPtr& pkt) {
+  (void)fromFace;
+  switch (pkt->kind) {
+    case Packet::Kind::Multicast: {
+      const auto& mcast = packet_cast<copss::MulticastPacket>(pkt);
+      if (mcast.publisher == id()) return;  // own update echoed back
+      if (seenSeq(mcast.seq)) return;       // duplicate delivery
+      if (!matchesSubscription(mcast)) {
+        // Bloom false positive upstream, or aliased hybrid group traffic the
+        // edge could not filter exactly — the host filters exactly.
+        ++filteredOut_;
+        return;
+      }
+      ++received_;
+      if (const auto* ann = dynamic_cast<const copss::AnnouncePacket*>(&mcast)) {
+        // Two-step: the snippet names the content; pull it.
+        ++twoStepFetches_;
+        expressInterest(ann->contentName);
+        return;
+      }
+      if (onMulticast_) onMulticast_(mcast, sim().now());
+      return;
+    }
+    case Packet::Kind::Interest: {
+      // Two-step publisher side: serve a held content.
+      const auto& interest = packet_cast<ndn::InterestPacket>(pkt);
+      const auto it = held_.find(interest.name);
+      if (it == held_.end()) return;
+      ++twoStepServed_;
+      send(edgeFace_, makePacket<ndn::DataPacket>(interest.name, it->second.size,
+                                                  it->second.publishedAt, it->second.seq));
+      return;
+    }
+    case Packet::Kind::Data:
+      if (onData_) {
+        onData_(std::static_pointer_cast<const ndn::DataPacket>(pkt), sim().now());
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace gcopss::gc

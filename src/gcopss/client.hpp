@@ -1,0 +1,101 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "copss/packets.hpp"
+#include "game/objects.hpp"
+#include "gcopss/game_packets.hpp"
+#include "ndn/packets.hpp"
+#include "net/network.hpp"
+
+namespace gcopss::gc {
+
+// A player endpoint on G-COPSS: publishes updates tagged with leaf CDs and
+// subscribes according to its position's visibility (Section III-B). Also
+// exposes the plain-NDN query side (expressInterest/Data callback) used by
+// the QR snapshot retrieval of Section IV-A.
+class GCopssClient : public Node {
+ public:
+  using MulticastCallback =
+      std::function<void(const copss::MulticastPacket&, SimTime now)>;
+  using DataCallback =
+      std::function<void(const std::shared_ptr<const ndn::DataPacket>&, SimTime now)>;
+
+  GCopssClient(NodeId id, Network& net, NodeId edgeFace)
+      : Node(id, net), edgeFace_(edgeFace) {}
+
+  NodeId edgeFace() const { return edgeFace_; }
+
+  // ---- pub/sub ----
+  void subscribe(const Name& cd);
+  void unsubscribe(const Name& cd);
+  const std::set<Name>& subscriptions() const { return subscriptions_; }
+  // Replace the whole subscription set (player moved): unsubscribes what is
+  // no longer needed, subscribes what is new.
+  void resubscribe(const std::vector<Name>& cds);
+
+  void publish(const Name& cd, Bytes payload, std::uint64_t seq, game::ObjectId obj = 0);
+  void setMulticastCallback(MulticastCallback cb) { onMulticast_ = std::move(cb); }
+
+  // ---- COPSS two-step mode (ANCS'11) ----
+  // Multicast only a snippet announcing /pub/<id>/<seq>; subscribers that
+  // receive the announcement pull the payload with an NDN Interest, answered
+  // by this client (and by router caches along the way).
+  void publishTwoStep(const Name& cd, Bytes payload, std::uint64_t seq);
+  static Name contentPrefixFor(NodeId clientId) {
+    return Name({"pub", std::to_string(clientId)});
+  }
+  std::uint64_t twoStepFetchesIssued() const { return twoStepFetches_; }
+  std::uint64_t twoStepServed() const { return twoStepServed_; }
+
+  // ---- NDN query side (QR snapshots) ----
+  void expressInterest(const Name& name);
+  void setDataCallback(DataCallback cb) { onData_ = std::move(cb); }
+
+  void handle(NodeId fromFace, const PacketPtr& pkt) override;
+  SimTime serviceTime(const PacketPtr&) const override {
+    return params().hostProcessCost;
+  }
+
+  std::uint64_t received() const { return received_; }
+  std::uint64_t filteredOut() const { return filteredOut_; }
+
+ private:
+  bool matchesSubscription(const copss::MulticastPacket& mcast) const;
+  bool seenSeq(std::uint64_t seq);
+
+  NodeId edgeFace_;
+  std::set<Name> subscriptions_;
+  // Hashes of subscribed CDs (refcounted): a publication matches iff one of
+  // its prefix hashes is subscribed — the same hash-only test routers use.
+  std::unordered_map<std::uint64_t, std::uint32_t> subscriptionHashes_;
+  // Bounded duplicate-suppression window (duplicates only occur transiently
+  // during RP migration, so a small ring suffices).
+  std::unordered_set<std::uint64_t> seenSeqs_;
+  std::vector<std::uint64_t> seqRing_ = std::vector<std::uint64_t>(4096, 0);
+  std::size_t seqRingPos_ = 0;
+  MulticastCallback onMulticast_;
+  DataCallback onData_;
+  // Node-unique nonce space: two consumers pulling the same name must not
+  // collide, or PITs would treat the second Interest as a forwarding loop.
+  std::uint64_t nextNonce_ = (static_cast<std::uint64_t>(id()) << 32) + 1;
+  std::uint64_t received_ = 0;
+  std::uint64_t filteredOut_ = 0;
+
+  // Two-step publisher state: contents announced but held locally until
+  // subscribers pull them.
+  struct HeldContent {
+    Bytes size;
+    SimTime publishedAt;
+    std::uint64_t seq;
+  };
+  std::map<Name, HeldContent> held_;
+  std::uint64_t twoStepFetches_ = 0;
+  std::uint64_t twoStepServed_ = 0;
+};
+
+}  // namespace gcopss::gc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "copss/packets.hpp"
+#include "game/objects.hpp"
+
+namespace gcopss::gc {
+
+// A game update on the wire: a COPSS Multicast that also names the concrete
+// object modified, so snapshot brokers can maintain per-object state.
+struct GameUpdatePacket : copss::MulticastPacket {
+  GameUpdatePacket(Name cd, Bytes payload, SimTime published, std::uint64_t seqIn,
+                   NodeId publisherIn, game::ObjectId obj)
+      : MulticastPacket({std::move(cd)}, payload, published, seqIn, publisherIn),
+        objectId(obj) {}
+  game::ObjectId objectId;
+};
+
+// A snapshot object pushed on a cyclic-multicast group (Section IV-A).
+// `cycleLength` lets a newly joined player know how many distinct objects
+// make up a complete snapshot of this leaf CD.
+struct SnapshotObjectPacket : copss::MulticastPacket {
+  SnapshotObjectPacket(Name snapCd, Bytes payload, SimTime published,
+                       std::uint64_t seqIn, NodeId publisherIn, game::ObjectId obj,
+                       std::uint32_t cycleLen)
+      : MulticastPacket({std::move(snapCd)}, payload, published, seqIn, publisherIn),
+        objectId(obj), cycleLength(cycleLen) {}
+  game::ObjectId objectId;
+  std::uint32_t cycleLength;
+};
+
+}  // namespace gcopss::gc

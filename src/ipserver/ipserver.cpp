@@ -1,0 +1,76 @@
+#include "ipserver/ipserver.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gcopss::ipserver {
+
+void IpRouter::handle(NodeId fromFace, const PacketPtr& pkt) {
+  (void)fromFace;
+  const auto& ip = packet_cast<IpUnicastPacket>(pkt);
+  if (ip.dst == id()) return;  // routers are never endpoints here
+  const NodeId next = network().topology().nextHop(id(), ip.dst);
+  if (next == kInvalidNode) return;
+  send(next, pkt);
+}
+
+void ServerDirectory::addRecipient(const Name& cd, NodeId player) {
+  recipients_[cd].push_back(player);
+}
+
+void ServerDirectory::setHomeServer(NodeId player, NodeId server) {
+  homeServer_[player] = server;
+}
+
+const std::vector<NodeId>& ServerDirectory::recipients(const Name& cd) const {
+  static const std::vector<NodeId> kEmpty;
+  const auto it = recipients_.find(cd);
+  return it != recipients_.end() ? it->second : kEmpty;
+}
+
+NodeId ServerDirectory::serverForPlayer(NodeId player) const {
+  const auto it = homeServer_.find(player);
+  if (it == homeServer_.end()) throw std::out_of_range("player has no home server");
+  return it->second;
+}
+
+void GameServer::handle(NodeId fromFace, const PacketPtr& pkt) {
+  (void)fromFace;
+  const auto& update = packet_cast<IpUnicastPacket>(pkt);
+  ++updatesServed_;
+  // Fan the update out as unicast copies, one per interested player; each
+  // copy costs serverUnicastCost of server CPU, so copies leave back-to-back
+  // and later updates queue behind the whole burst.
+  const SimParams& p = params();
+  SimTime offset = 0;
+  for (NodeId player : dir_->recipients(update.cd)) {
+    if (player == update.src) continue;  // publishers see their own action locally
+    extendCpuBusy(p.serverUnicastCost);
+    offset += p.serverUnicastCost;
+    auto copy = makePacket<IpUnicastPacket>(id(), player, update.cd,
+                                            update.payloadSize, update.publishedAt,
+                                            update.seq);
+    const NodeId next = network().topology().nextHop(id(), player);
+    assert(next != kInvalidNode);
+    sendAfter(offset, next, std::move(copy));
+    ++copiesSent_;
+  }
+}
+
+void IpClient::publish(const Name& cd, Bytes payload, std::uint64_t seq) {
+  const NodeId server = dir_->serverForPlayer(id());
+  auto pkt = makePacket<IpUnicastPacket>(id(), server, cd, payload, sim().now(), seq);
+  send(edgeFace_, std::move(pkt));
+}
+
+void IpClient::handle(NodeId fromFace, const PacketPtr& pkt) {
+  (void)fromFace;
+  const auto& ip = packet_cast<IpUnicastPacket>(pkt);
+  if (ip.dst != id()) {
+    // Stray packet (should not happen on a host); drop.
+    return;
+  }
+  if (onDelivery_) onDelivery_(ip, sim().now());
+}
+
+}  // namespace gcopss::ipserver

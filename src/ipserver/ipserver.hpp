@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/name.hpp"
+#include "net/network.hpp"
+
+namespace gcopss::ipserver {
+
+constexpr Bytes kIpHeaderBytes = 28;
+
+// The IP baseline's data packet (Section V-A): source, destination, payload —
+// plus the game CD, which only the *server* interprets (IP routers forward
+// purely on the destination address).
+struct IpUnicastPacket : Packet {
+  static constexpr Kind kKind = Kind::IpUnicast;
+  IpUnicastPacket(NodeId srcIn, NodeId dstIn, Name cdIn, Bytes payload,
+                  SimTime published, std::uint64_t seqIn)
+      : Packet(kKind, kIpHeaderBytes + payload), src(srcIn), dst(dstIn),
+        cd(std::move(cdIn)), payloadSize(payload), publishedAt(published), seq(seqIn) {}
+
+  NodeId src;
+  NodeId dst;
+  Name cd;
+  Bytes payloadSize;
+  SimTime publishedAt;
+  std::uint64_t seq;  // publication index + 1
+};
+
+// Destination-address forwarding along min-delay paths.
+class IpRouter : public Node {
+ public:
+  IpRouter(NodeId id, Network& net) : Node(id, net) {}
+
+  void handle(NodeId fromFace, const PacketPtr& pkt) override;
+  SimTime serviceTime(const PacketPtr&) const override { return params().ipForwardCost; }
+};
+
+// Maps every game CD to the players that must receive updates for it, and
+// every player to its home server. Real MMO deployments shard by player
+// (each client talks to its home server, which resolves recipients from the
+// global registry), so multi-server capacity scales with the player count
+// rather than being hostage to one hot map area. Built once by the harness
+// from player positions (the C/S architecture's server knows all players).
+class ServerDirectory {
+ public:
+  void addRecipient(const Name& cd, NodeId player);
+  void setHomeServer(NodeId player, NodeId server);
+
+  const std::vector<NodeId>& recipients(const Name& cd) const;
+  NodeId serverForPlayer(NodeId player) const;
+
+ private:
+  std::map<Name, std::vector<NodeId>> recipients_;
+  std::map<NodeId, NodeId> homeServer_;
+};
+
+// The game server: receives every update, runs the game logic
+// (serverProcessCost), then unicasts a copy to each interested player at
+// serverUnicastCost per copy — the serialization that makes the server the
+// bottleneck the paper measures.
+class GameServer : public Node {
+ public:
+  GameServer(NodeId id, Network& net, const ServerDirectory& dir)
+      : Node(id, net), dir_(&dir) {}
+
+  void handle(NodeId fromFace, const PacketPtr& pkt) override;
+  SimTime serviceTime(const PacketPtr&) const override {
+    return params().serverProcessCost;
+  }
+
+  std::uint64_t updatesServed() const { return updatesServed_; }
+  std::uint64_t copiesSent() const { return copiesSent_; }
+
+ private:
+  const ServerDirectory* dir_;
+  std::uint64_t updatesServed_ = 0;
+  std::uint64_t copiesSent_ = 0;
+};
+
+// A player endpoint in the C/S architecture.
+class IpClient : public Node {
+ public:
+  using DeliveryCallback =
+      std::function<void(const IpUnicastPacket& update, SimTime now)>;
+
+  IpClient(NodeId id, Network& net, NodeId edgeFace, const ServerDirectory& dir)
+      : Node(id, net), edgeFace_(edgeFace), dir_(&dir) {}
+
+  void setDeliveryCallback(DeliveryCallback cb) { onDelivery_ = std::move(cb); }
+
+  // Publish one update (routed to the CD's responsible server).
+  void publish(const Name& cd, Bytes payload, std::uint64_t seq);
+
+  void handle(NodeId fromFace, const PacketPtr& pkt) override;
+  SimTime serviceTime(const PacketPtr&) const override {
+    return params().hostProcessCost;
+  }
+
+ private:
+  NodeId edgeFace_;
+  const ServerDirectory* dir_;
+  DeliveryCallback onDelivery_;
+};
+
+}  // namespace gcopss::ipserver

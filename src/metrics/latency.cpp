@@ -1,0 +1,58 @@
+#include "metrics/latency.hpp"
+
+#include <algorithm>
+
+namespace gcopss::metrics {
+
+void LatencyRecorder::record(std::size_t pubIndex, SimTime published, SimTime delivered) {
+  const double latMs = toMs(delivered - published);
+  samples_.add(latMs);
+  if (perPub_.size() <= pubIndex) perPub_.resize(pubIndex + 1);
+  PubPoint& p = perPub_[pubIndex];
+  if (p.count == 0) {
+    p.minMs = p.maxMs = latMs;
+  } else {
+    p.minMs = std::min(p.minMs, latMs);
+    p.maxMs = std::max(p.maxMs, latMs);
+  }
+  ++p.count;
+  p.sumMs += latMs;
+}
+
+std::vector<LatencyRecorder::SeriesPoint> LatencyRecorder::series(std::size_t points) const {
+  std::vector<SeriesPoint> out;
+  if (perPub_.empty() || points == 0) return out;
+  const std::size_t stride = std::max<std::size_t>(1, perPub_.size() / points);
+  for (std::size_t i = 0; i < perPub_.size(); i += stride) {
+    // Aggregate the stride's publications into one point.
+    double mn = 0.0, mx = 0.0, sum = 0.0;
+    std::size_t n = 0;
+    bool first = true;
+    for (std::size_t j = i; j < std::min(i + stride, perPub_.size()); ++j) {
+      const PubPoint& p = perPub_[j];
+      if (p.count == 0) continue;
+      if (first) {
+        mn = p.minMs;
+        mx = p.maxMs;
+        first = false;
+      } else {
+        mn = std::min(mn, p.minMs);
+        mx = std::max(mx, p.maxMs);
+      }
+      sum += p.sumMs;
+      n += p.count;
+    }
+    if (n > 0) {
+      out.push_back(SeriesPoint{i, mn, sum / static_cast<double>(n), mx});
+    }
+  }
+  return out;
+}
+
+void ConvergenceRecorder::record(std::size_t type, SimTime moveAt, SimTime convergedAt) {
+  const double ms = toMs(convergedAt - moveAt);
+  byType_.at(type).add(ms);
+  total_.add(ms);
+}
+
+}  // namespace gcopss::metrics

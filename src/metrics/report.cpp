@@ -1,0 +1,84 @@
+#include "metrics/report.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace gcopss::metrics {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open(const std::string& path) { return FilePtr(std::fopen(path.c_str(), "w")); }
+
+// CSV-escape a label (quotes + commas).
+std::string esc(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool writeSummaryCsv(const std::string& path, const std::vector<gc::RunSummary>& runs) {
+  auto f = open(path);
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "label,mean_ms,p50_ms,p95_ms,p99_ms,max_ms,deliveries,network_gb,"
+               "drops,rp_splits,bloom_false_positives,unwanted_at_edges\n");
+  for (const auto& r : runs) {
+    std::fprintf(f.get(), "%s,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%.6f,%llu,%llu,%llu,%llu\n",
+                 esc(r.label).c_str(), r.meanMs, r.p50Ms, r.p95Ms, r.p99Ms, r.maxMs,
+                 static_cast<unsigned long long>(r.deliveries), r.networkGB,
+                 static_cast<unsigned long long>(r.drops),
+                 static_cast<unsigned long long>(r.rpSplits),
+                 static_cast<unsigned long long>(r.bloomFalsePositives),
+                 static_cast<unsigned long long>(r.unwantedAtEdges));
+  }
+  return true;
+}
+
+bool writeCdfCsv(const std::string& path, const gc::RunSummary& run) {
+  auto f = open(path);
+  if (!f) return false;
+  std::fprintf(f.get(), "latency_ms,cumulative_fraction\n");
+  for (const auto& [msVal, frac] : run.latencyCdfMs) {
+    std::fprintf(f.get(), "%.6f,%.6f\n", msVal, frac);
+  }
+  return true;
+}
+
+bool writeSeriesCsv(const std::string& path, const gc::RunSummary& run) {
+  auto f = open(path);
+  if (!f) return false;
+  std::fprintf(f.get(), "pub_index,min_ms,avg_ms,max_ms\n");
+  for (const auto& p : run.series) {
+    std::fprintf(f.get(), "%zu,%.6f,%.6f,%.6f\n", p.index, p.minMs, p.avgMs, p.maxMs);
+  }
+  return true;
+}
+
+bool writeMovementCsv(const std::string& path, const gc::MovementSummary& summary) {
+  auto f = open(path);
+  if (!f) return false;
+  std::fprintf(f.get(), "move_type,count,avg_leaf_cds,mean_ms,ci95_ms\n");
+  for (const auto& row : summary.rows) {
+    std::fprintf(f.get(), "%s,%zu,%.4f,%.4f,%.4f\n", esc(row.label).c_str(), row.count,
+                 row.avgLeafCds, row.meanMs, row.ci95Ms);
+  }
+  std::fprintf(f.get(), "total,%zu,,%.4f,%.4f\n", summary.totalMoves, summary.totalMeanMs,
+               summary.totalCi95Ms);
+  return true;
+}
+
+}  // namespace gcopss::metrics

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "gcopss/experiment.hpp"
+#include "gcopss/movement_experiment.hpp"
+
+namespace gcopss::metrics {
+
+// CSV exporters so bench results feed straight into plotting tools. Every
+// writer creates (or truncates) the file and returns false on I/O failure;
+// values use '.' decimals and no locale.
+
+// One row per run: label, latency stats, load, counters.
+bool writeSummaryCsv(const std::string& path,
+                     const std::vector<gc::RunSummary>& runs);
+
+// Latency CDF points of one run: latency_ms, cumulative_fraction.
+bool writeCdfCsv(const std::string& path, const gc::RunSummary& run);
+
+// Per-publication latency series of one run (Fig. 5 style):
+// pub_index, min_ms, avg_ms, max_ms.
+bool writeSeriesCsv(const std::string& path, const gc::RunSummary& run);
+
+// Table III style rows: move_type, count, avg_leaf_cds, mean_ms, ci95_ms.
+bool writeMovementCsv(const std::string& path, const gc::MovementSummary& summary);
+
+}  // namespace gcopss::metrics

@@ -1,0 +1,44 @@
+#include "ndn/content_store.hpp"
+
+namespace gcopss::ndn {
+
+void ContentStore::insert(const std::shared_ptr<const DataPacket>& data, SimTime now) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(data->name);
+  if (it != map_.end()) {
+    it->second.data = data;
+    it->second.insertedAt = now;
+    lru_.erase(it->second.lruIt);
+    lru_.push_front(data->name);
+    it->second.lruIt = lru_.begin();
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Name& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+  }
+  lru_.push_front(data->name);
+  map_.emplace(data->name, Entry{data, now, lru_.begin()});
+}
+
+std::shared_ptr<const DataPacket> ContentStore::find(const Name& name, SimTime now) {
+  const auto it = map_.find(name);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (freshness_ > 0 && now - it->second.insertedAt > freshness_) {
+    lru_.erase(it->second.lruIt);
+    map_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lruIt);
+  lru_.push_front(name);
+  it->second.lruIt = lru_.begin();
+  return it->second.data;
+}
+
+}  // namespace gcopss::ndn

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/name.hpp"
+#include "common/units.hpp"
+#include "ndn/packets.hpp"
+
+namespace gcopss::ndn {
+
+// In-network cache (Content Store). LRU eviction by entry count, with an
+// optional freshness lifetime — gaming updates age out almost immediately
+// (the paper notes "the cache ages out quickly in a gaming scenario"), so
+// the QR snapshot experiments set a short freshness.
+class ContentStore {
+ public:
+  explicit ContentStore(std::size_t capacity = 4096, SimTime freshness = 0)
+      : capacity_(capacity), freshness_(freshness) {}
+
+  void insert(const std::shared_ptr<const DataPacket>& data, SimTime now);
+
+  // Exact-name lookup; nullptr on miss or stale entry.
+  std::shared_ptr<const DataPacket> find(const Name& name, SimTime now);
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DataPacket> data;
+    SimTime insertedAt;
+    std::list<Name>::iterator lruIt;
+  };
+  std::size_t capacity_;
+  SimTime freshness_;  // 0 = never stale
+  std::unordered_map<Name, Entry, NameHash> map_;
+  std::list<Name> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gcopss::ndn

@@ -1,0 +1,108 @@
+#include "ndn/fib.hpp"
+
+namespace gcopss::ndn {
+
+void Fib::insert(const Name& prefix, NodeId face) {
+  TrieNode* node = &root_;
+  for (const auto& comp : prefix.components()) {
+    auto& child = node->children[comp];
+    if (!child) child = std::make_unique<TrieNode>();
+    node = child.get();
+  }
+  if (node->faces.insert(face).second) ++entries_;
+}
+
+const Fib::TrieNode* Fib::find(const Name& prefix) const {
+  const TrieNode* node = &root_;
+  for (const auto& comp : prefix.components()) {
+    const auto it = node->children.find(comp);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+bool Fib::remove(const Name& prefix, NodeId face) {
+  // const_cast-free: walk mutably.
+  TrieNode* node = &root_;
+  for (const auto& comp : prefix.components()) {
+    const auto it = node->children.find(comp);
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+  }
+  if (node->faces.erase(face) > 0) {
+    --entries_;
+    return true;
+  }
+  return false;
+}
+
+void Fib::removePrefix(const Name& prefix) {
+  TrieNode* node = &root_;
+  for (const auto& comp : prefix.components()) {
+    const auto it = node->children.find(comp);
+    if (it == node->children.end()) return;
+    node = it->second.get();
+  }
+  entries_ -= node->faces.size();
+  node->faces.clear();
+}
+
+std::vector<NodeId> Fib::lpm(const Name& name) const {
+  const TrieNode* node = &root_;
+  const TrieNode* best = node->faces.empty() ? nullptr : node;
+  for (const auto& comp : name.components()) {
+    const auto it = node->children.find(comp);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    if (!node->faces.empty()) best = node;
+  }
+  if (!best) return {};
+  return {best->faces.begin(), best->faces.end()};
+}
+
+std::vector<NodeId> Fib::exact(const Name& prefix) const {
+  const TrieNode* node = find(prefix);
+  if (!node) return {};
+  return {node->faces.begin(), node->faces.end()};
+}
+
+std::vector<std::pair<Name, std::vector<NodeId>>> Fib::intersecting(const Name& name) const {
+  std::vector<std::pair<Name, std::vector<NodeId>>> out;
+  // Ancestors (and self): walk down the trie along `name`.
+  const TrieNode* node = &root_;
+  for (std::size_t len = 0;; ++len) {
+    if (!node->faces.empty()) {
+      out.emplace_back(name.prefix(len),
+                       std::vector<NodeId>(node->faces.begin(), node->faces.end()));
+    }
+    if (len == name.size()) break;
+    const auto it = node->children.find(name.at(len));
+    if (it == node->children.end()) return out;
+    node = it->second.get();
+  }
+  // Descendants: everything strictly below `name`.
+  // Depth-first over the subtree rooted at `node`.
+  struct Frame {
+    const TrieNode* n;
+    Name path;
+  };
+  std::vector<Frame> stack;
+  for (const auto& [comp, child] : node->children) {
+    stack.push_back(Frame{child.get(), name.append(comp)});
+  }
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (!f.n->faces.empty()) {
+      out.emplace_back(f.path,
+                       std::vector<NodeId>(f.n->faces.begin(), f.n->faces.end()));
+    }
+    for (const auto& [comp, child] : f.n->children) {
+      stack.push_back(Frame{child.get(), f.path.append(comp)});
+    }
+  }
+  return out;
+}
+
+}  // namespace gcopss::ndn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/name.hpp"
+#include "net/packet.hpp"
+
+namespace gcopss::ndn {
+
+// Forwarding Information Base: a component trie mapping name prefixes to
+// outgoing face sets, with longest-prefix-match lookup.
+class Fib {
+ public:
+  void insert(const Name& prefix, NodeId face);
+  // Returns true if the (prefix, face) pair existed.
+  bool remove(const Name& prefix, NodeId face);
+  // Remove every face registered for exactly this prefix.
+  void removePrefix(const Name& prefix);
+
+  // Faces of the longest prefix of `name` that has at least one face.
+  // Empty vector if no prefix matches.
+  std::vector<NodeId> lpm(const Name& name) const;
+
+  // Exact-match faces for a prefix (no LPM); empty if absent.
+  std::vector<NodeId> exact(const Name& prefix) const;
+
+  // All (prefix, faces) entries whose prefix intersects `name`: the prefix is
+  // an ancestor-or-equal of `name`, or lies in the subtree under `name`.
+  // COPSS uses this to find every RP direction a Subscribe must propagate to
+  // (a subscription to /1 must reach the RPs serving /1/1, /1/2, ...).
+  std::vector<std::pair<Name, std::vector<NodeId>>> intersecting(const Name& name) const;
+
+  std::size_t entryCount() const { return entries_; }
+
+ private:
+  struct TrieNode {
+    std::unordered_map<std::string, std::unique_ptr<TrieNode>> children;
+    std::set<NodeId> faces;
+  };
+  TrieNode root_;
+  std::size_t entries_ = 0;  // number of (prefix,face) pairs
+
+  const TrieNode* find(const Name& prefix) const;
+};
+
+}  // namespace gcopss::ndn

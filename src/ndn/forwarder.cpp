@@ -1,0 +1,71 @@
+#include "ndn/forwarder.hpp"
+
+#include <cassert>
+
+namespace gcopss::ndn {
+
+void Forwarder::emit(NodeId face, PacketPtr pkt) {
+  assert(face != kLocalFace);
+  hooks_.sendToFace(face, std::move(pkt));
+}
+
+void Forwarder::onInterest(NodeId fromFace,
+                           const std::shared_ptr<const InterestPacket>& interest) {
+  const SimTime now = now_();
+
+  // Content Store: a cache hit is answered immediately on the arrival face.
+  if (auto cached = cs_.find(interest->name, now)) {
+    if (fromFace == kLocalFace) {
+      if (hooks_.localData) hooks_.localData(cached);
+    } else {
+      emit(fromFace, cached);
+    }
+    return;
+  }
+
+  switch (pit_.insert(interest->name, fromFace, interest->nonce, now)) {
+    case Pit::InsertResult::DuplicateNonce:
+    case Pit::InsertResult::Aggregated:
+      return;  // breadcrumb recorded; Data will fan out from the PIT
+    case Pit::InsertResult::Forward:
+      break;
+  }
+
+  const auto faces = fib_.lpm(interest->name);
+  bool forwarded = false;
+  for (NodeId face : faces) {
+    if (face == fromFace) continue;
+    if (face == kLocalFace) {
+      if (hooks_.localInterest) hooks_.localInterest(fromFace, interest);
+      forwarded = true;
+    } else {
+      emit(face, interest);
+      forwarded = true;
+    }
+  }
+  if (!forwarded) {
+    ++noRouteDrops_;
+    pit_.consume(interest->name, now);  // no breadcrumb for a dead end
+  }
+}
+
+void Forwarder::onData(NodeId fromFace,
+                       const std::shared_ptr<const DataPacket>& data) {
+  const SimTime now = now_();
+  const auto faces = pit_.consume(data->name, now);
+  if (faces.empty()) {
+    ++unsolicitedData_;
+    return;
+  }
+  cs_.insert(data, now);
+  for (NodeId face : faces) {
+    if (face == fromFace) continue;
+    if (face == kLocalFace) {
+      if (hooks_.localData) hooks_.localData(data);
+    } else {
+      emit(face, data);
+    }
+  }
+}
+
+}  // namespace gcopss::ndn

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ndn/content_store.hpp"
+#include "ndn/fib.hpp"
+#include "ndn/packets.hpp"
+#include "ndn/pit.hpp"
+
+namespace gcopss::ndn {
+
+// The NDN forwarding engine (the "NDN Engine" box of Fig. 2): CS check, PIT
+// aggregation and FIB longest-prefix forwarding for Interests; PIT-driven
+// reverse-path delivery for Data. It is transport-agnostic: the owning node
+// supplies hooks for emitting packets on faces and for the node-local
+// application face (kLocalFace) — which is how the COPSS engine's special
+// decapsulation port attaches at an RP.
+class Forwarder {
+ public:
+  struct Hooks {
+    // Emit a packet on a network face (face is a neighbour NodeId).
+    std::function<void(NodeId face, PacketPtr pkt)> sendToFace;
+    // An Interest reached this node's local application face.
+    std::function<void(NodeId fromFace, const std::shared_ptr<const InterestPacket>&)>
+        localInterest;
+    // A Data packet satisfied a locally expressed Interest.
+    std::function<void(const std::shared_ptr<const DataPacket>&)> localData;
+  };
+
+  struct Options {
+    std::size_t csCapacity = 4096;
+    SimTime csFreshness = 0;
+    SimTime pitLifetime = seconds(4);
+  };
+
+  Forwarder(Hooks hooks, Options opts, const std::function<SimTime()>& now)
+      : hooks_(std::move(hooks)), cs_(opts.csCapacity, opts.csFreshness),
+        pit_(opts.pitLifetime), now_(now) {}
+
+  void onInterest(NodeId fromFace, const std::shared_ptr<const InterestPacket>& interest);
+  void onData(NodeId fromFace, const std::shared_ptr<const DataPacket>& data);
+
+  // Express an Interest from the local application face.
+  void expressInterest(const std::shared_ptr<const InterestPacket>& interest) {
+    onInterest(kLocalFace, interest);
+  }
+  // Publish Data from the local application face (satisfies pending PIT).
+  void putData(const std::shared_ptr<const DataPacket>& data) {
+    onData(kLocalFace, data);
+  }
+
+  // Attach/replace local application hooks after construction (used by nodes
+  // that host an application next to the engine, e.g. a snapshot broker).
+  void setLocalInterestHook(
+      std::function<void(NodeId, const std::shared_ptr<const InterestPacket>&)> h) {
+    hooks_.localInterest = std::move(h);
+  }
+  void setLocalDataHook(std::function<void(const std::shared_ptr<const DataPacket>&)> h) {
+    hooks_.localData = std::move(h);
+  }
+
+  Fib& fib() { return fib_; }
+  const Fib& fib() const { return fib_; }
+  Pit& pit() { return pit_; }
+  ContentStore& contentStore() { return cs_; }
+
+  std::uint64_t noRouteDrops() const { return noRouteDrops_; }
+  std::uint64_t unsolicitedDataDrops() const { return unsolicitedData_; }
+
+ private:
+  void emit(NodeId face, PacketPtr pkt);
+
+  Hooks hooks_;
+  Fib fib_;
+  ContentStore cs_;
+  Pit pit_;
+  std::function<SimTime()> now_;
+  std::uint64_t noRouteDrops_ = 0;
+  std::uint64_t unsolicitedData_ = 0;
+};
+
+}  // namespace gcopss::ndn

@@ -1,0 +1,98 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gcopss {
+
+Node::Node(NodeId id, Network& net) : id_(id), net_(&net) {}
+
+SimTime Node::cpuBacklog() const {
+  const SimTime now = net_->sim_.now();
+  return cpuFreeAt_ > now ? cpuFreeAt_ - now : 0;
+}
+
+void Node::send(NodeId toFace, PacketPtr pkt) { net_->transmit(id_, toFace, std::move(pkt)); }
+
+void Node::sendAfter(SimTime delay, NodeId toFace, PacketPtr pkt) {
+  net_->sim_.schedule(delay, [this, toFace, p = std::move(pkt)]() mutable {
+    net_->transmit(id_, toFace, std::move(p));
+  });
+}
+
+void Node::extendCpuBusy(SimTime extra) {
+  const SimTime now = net_->sim_.now();
+  cpuFreeAt_ = (cpuFreeAt_ > now ? cpuFreeAt_ : now) + extra;
+}
+
+void Node::deliverLocal(PacketPtr pkt) {
+  net_->enqueueCpu(id_, kInvalidNode, std::move(pkt));
+}
+
+Simulator& Node::sim() { return net_->sim_; }
+const Simulator& Node::sim() const { return net_->sim_; }
+const SimParams& Node::params() const { return net_->params_; }
+
+Network::Network(Simulator& sim, Topology& topo, SimParams params)
+    : sim_(sim), topo_(topo), params_(params) {}
+
+void Network::attach(std::unique_ptr<Node> node) {
+  const auto idx = static_cast<std::size_t>(node->id());
+  assert(idx < topo_.nodeCount() && "node id must come from the topology");
+  if (nodes_.size() <= idx) nodes_.resize(idx + 1);
+  assert(!nodes_[idx] && "node id already attached");
+  nodes_[idx] = std::move(node);
+}
+
+Node& Network::node(NodeId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= nodes_.size() || !nodes_[idx]) throw std::out_of_range("no node attached");
+  return *nodes_[idx];
+}
+
+bool Network::hasNode(NodeId id) const {
+  const auto idx = static_cast<std::size_t>(id);
+  return idx < nodes_.size() && nodes_[idx] != nullptr;
+}
+
+void Network::transmit(NodeId from, NodeId to, PacketPtr pkt) {
+  const Topology::Link& link = topo_.linkBetween(from, to);
+  totalLinkBytes_ += pkt->size;
+  ++totalLinkPackets_;
+  const auto txTime = static_cast<SimTime>(
+      static_cast<double>(pkt->size) * 8.0 / link.bandwidthBps * kSecond);
+  const SimTime arrival = link.delay + txTime;
+  sim_.schedule(arrival, [this, to, from, p = std::move(pkt)]() mutable {
+    enqueueCpu(to, from, std::move(p));
+  });
+}
+
+void Network::setNodeFailed(NodeId id, bool failed) {
+  if (failed) {
+    failed_.insert(id);
+  } else {
+    failed_.erase(id);
+  }
+}
+
+void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
+  if (failed_.count(at)) {
+    ++totalDrops_;
+    return;  // crashed node: blackhole
+  }
+  Node& n = node(at);
+  const SimTime now = sim_.now();
+  if (params_.dropBacklog > 0 && n.cpuBacklog() > params_.dropBacklog) {
+    ++n.drops_;
+    ++totalDrops_;
+    return;  // finite buffer overflow: packet lost
+  }
+  const SimTime start = n.cpuFreeAt_ > now ? n.cpuFreeAt_ : now;
+  const SimTime done = start + n.serviceTime(pkt);
+  n.cpuFreeAt_ = done;
+  sim_.scheduleAt(done, [&n, fromFace, p = std::move(pkt)]() mutable {
+    n.handle(fromFace, p);
+  });
+}
+
+}  // namespace gcopss

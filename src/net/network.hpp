@@ -1,0 +1,124 @@
+#pragma once
+
+#include <functional>
+#include <set>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/packet.hpp"
+#include "net/params.hpp"
+#include "net/topology.hpp"
+
+namespace gcopss {
+
+class Network;
+
+// A protocol endpoint bound to one topology node. "Faces" are identified by
+// the neighbour's NodeId (the paper's per-face IPC ports collapse to this in
+// simulation). Each node owns a FIFO CPU: arriving packets queue for
+// serviceTime() before handle() runs — this queueing is what produces the
+// RP/server congestion the evaluation studies.
+class Node {
+ public:
+  Node(NodeId id, Network& net);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Invoked after the packet has completed CPU service at this node.
+  // `fromFace` is the neighbour it arrived from (kInvalidNode for packets
+  // originated locally, e.g. an application publish).
+  virtual void handle(NodeId fromFace, const PacketPtr& pkt) = 0;
+
+  // CPU cost of processing one packet at this node.
+  virtual SimTime serviceTime(const PacketPtr& pkt) const = 0;
+
+  // Time until this node's CPU drains its current queue (0 = idle).
+  SimTime cpuBacklog() const;
+
+  std::uint64_t dropCount() const { return drops_; }
+
+ protected:
+  void send(NodeId toFace, PacketPtr pkt);
+  // Send after an extra delay (e.g. a server pacing its unicast copies).
+  void sendAfter(SimTime delay, NodeId toFace, PacketPtr pkt);
+  // Occupy this node's CPU for `extra` beyond the current service — models
+  // per-recipient work discovered only while handling a packet (the IP game
+  // server's unicast fan-out cost).
+  void extendCpuBusy(SimTime extra);
+  // Inject a locally originated packet into this node's own CPU queue.
+  void deliverLocal(PacketPtr pkt);
+  Simulator& sim();
+  const Simulator& sim() const;
+  Network& network() { return *net_; }
+  const SimParams& params() const;
+
+ private:
+  friend class Network;
+  NodeId id_;
+  Network* net_;
+  SimTime cpuFreeAt_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+// Binds a Topology to a Simulator and a set of Nodes; moves packets across
+// links (propagation + transmission delay) into the receiver's CPU queue and
+// meters aggregate network load (bytes x link traversals).
+class Network {
+ public:
+  Network(Simulator& sim, Topology& topo, SimParams params = {});
+
+  void attach(std::unique_ptr<Node> node);
+  template <typename T, typename... Args>
+  T& emplaceNode(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *node;
+    attach(std::move(node));
+    return ref;
+  }
+
+  Node& node(NodeId id);
+  bool hasNode(NodeId id) const;
+
+  Simulator& sim() { return sim_; }
+  Topology& topology() { return topo_; }
+  const SimParams& params() const { return params_; }
+  SimParams& mutableParams() { return params_; }
+
+  // Send `pkt` from node `from` to adjacent node `to`.
+  void transmit(NodeId from, NodeId to, PacketPtr pkt);
+
+  // Enqueue a packet into `at`'s CPU queue (used for local origination).
+  void enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt);
+
+  // Failure injection: a failed node blackholes everything addressed to it
+  // (its CPU never runs) until revived. Links stay up — neighbours keep
+  // transmitting into the void, as with a crashed router.
+  void setNodeFailed(NodeId id, bool failed);
+  bool isFailed(NodeId id) const { return failed_.count(id) > 0; }
+
+  Bytes totalLinkBytes() const { return totalLinkBytes_; }
+  std::uint64_t totalLinkPackets() const { return totalLinkPackets_; }
+  std::uint64_t totalDrops() const { return totalDrops_; }
+  void resetLoadMeter() {
+    totalLinkBytes_ = 0;
+    totalLinkPackets_ = 0;
+  }
+
+ private:
+  friend class Node;
+  Simulator& sim_;
+  Topology& topo_;
+  SimParams params_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId
+  std::set<NodeId> failed_;
+  Bytes totalLinkBytes_ = 0;
+  std::uint64_t totalLinkPackets_ = 0;
+  std::uint64_t totalDrops_ = 0;
+};
+
+}  // namespace gcopss

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "common/units.hpp"
+
+namespace gcopss {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+// Base class for every packet in the simulation. A single Kind enum spans all
+// protocol families (NDN, COPSS, IP baseline) so routers can branch on kind
+// without RTTI; `packet_cast` checks the kind before downcasting.
+struct Packet {
+  enum class Kind : std::uint8_t {
+    // NDN engine
+    Interest,
+    Data,
+    // COPSS engine
+    Subscribe,
+    Unsubscribe,
+    Multicast,
+    FibAdd,
+    FibRemove,
+    // COPSS RP-migration control (Section IV-B)
+    RpHandoff,
+    StJoin,
+    StConfirm,
+    StLeave,
+    // IP baseline
+    IpUnicast,
+    IpMulticastPkt,
+    IpGroupJoin,
+    IpGroupLeave,
+  };
+
+  Packet(Kind k, Bytes sz) : kind(k), size(sz) {}
+  virtual ~Packet() = default;
+
+  Packet(const Packet&) = default;
+  Packet& operator=(const Packet&) = delete;
+
+  Kind kind;
+  Bytes size;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+template <typename T>
+const T& packet_cast(const PacketPtr& p) {
+  assert(p && p->kind == T::kKind);
+  return static_cast<const T&>(*p);
+}
+
+template <typename T, typename... Args>
+PacketPtr makePacket(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace gcopss

@@ -1,0 +1,81 @@
+#include "net/topo_factory.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace gcopss {
+
+BenchmarkTopology makeBenchmarkTopology(Topology& topo) {
+  BenchmarkTopology out;
+  for (int i = 1; i <= 6; ++i) out.routers.push_back(topo.addNode("R" + std::to_string(i)));
+  const auto& r = out.routers;
+  const SimTime lan = ms(1);
+  // Fig. 3b: R5 - R4 - R2 - R1 - R3 - R6
+  topo.addLink(r[4], r[3], lan);  // R5-R4
+  topo.addLink(r[3], r[1], lan);  // R4-R2
+  topo.addLink(r[1], r[0], lan);  // R2-R1
+  topo.addLink(r[0], r[2], lan);  // R1-R3
+  topo.addLink(r[2], r[5], lan);  // R3-R6
+  return out;
+}
+
+RocketfuelTopology makeRocketfuelLike(Topology& topo, Rng& rng,
+                                      std::size_t coreCount, std::size_t edgePerCore) {
+  assert(coreCount >= 2);
+  RocketfuelTopology out;
+  out.core.reserve(coreCount);
+  for (std::size_t i = 0; i < coreCount; ++i) {
+    out.core.push_back(topo.addNode("core" + std::to_string(i)));
+  }
+
+  // Random spanning tree with preferential attachment toward earlier nodes,
+  // giving the hub-skewed degree distribution of measured ISP backbones.
+  for (std::size_t i = 1; i < coreCount; ++i) {
+    // Bias: sample two candidates, attach to the lower-indexed one.
+    const auto c1 = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+    const auto c2 = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+    const std::size_t parent = c1 < c2 ? c1 : c2;
+    topo.addLink(out.core[i], out.core[parent], ms(rng.uniformInt(1, 20)));
+  }
+  // Shortcut links to reach average core degree ~3.5.
+  const std::size_t extraLinks = coreCount * 3 / 4;
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extraLinks && attempts < extraLinks * 50) {
+    ++attempts;
+    const auto a = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(coreCount) - 1));
+    const auto b = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(coreCount) - 1));
+    if (a == b || topo.hasLink(out.core[a], out.core[b])) continue;
+    topo.addLink(out.core[a], out.core[b], ms(rng.uniformInt(1, 20)));
+    ++added;
+  }
+
+  // Edge routers: `edgePerCore` per core router at 5 ms.
+  for (std::size_t i = 0; i < coreCount; ++i) {
+    for (std::size_t e = 0; e < edgePerCore; ++e) {
+      const NodeId er = topo.addNode("edge" + std::to_string(i) + "_" + std::to_string(e));
+      topo.addLink(er, out.core[i], ms(5));
+      out.edge.push_back(er);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> attachHosts(Topology& topo, const std::vector<NodeId>& edges,
+                                std::size_t count, Rng& rng) {
+  assert(!edges.empty());
+  std::vector<NodeId> hosts;
+  hosts.reserve(count);
+  // Uniform distribution: round-robin over a shuffled edge list so host
+  // counts per edge differ by at most one.
+  std::vector<NodeId> order = edges;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId host = topo.addNode("host" + std::to_string(i));
+    topo.addLink(host, order[i % order.size()], ms(1));
+    hosts.push_back(host);
+  }
+  return hosts;
+}
+
+}  // namespace gcopss

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace gcopss {
+
+// Pre-built topologies used by the paper's evaluation.
+struct BenchmarkTopology {
+  std::vector<NodeId> routers;  // R1..R6; routers[0] (R1) hosts the RP/server
+};
+
+// The six-router lab topology of Fig. 3b: a chain R5-R4-R2-R1-R3-R6 with R1
+// in the middle (the RP and, in the IP test, the server attach at R1).
+BenchmarkTopology makeBenchmarkTopology(Topology& topo);
+
+struct RocketfuelTopology {
+  std::vector<NodeId> core;   // 79 backbone routers (Rocketfuel AS3967 scale)
+  std::vector<NodeId> edge;   // 2 edge routers per core router
+};
+
+// A deterministic Rocketfuel-like backbone: `coreCount` routers connected as
+// a random spanning tree plus extra shortcut links (average degree ~3.5,
+// degree-skewed), with integer link delays in [1,20] ms interpreted from the
+// published link weights; 2 edge routers per core at 5 ms. Substitutes for
+// the Rocketfuel id=3967 map (see DESIGN.md, substitutions).
+RocketfuelTopology makeRocketfuelLike(Topology& topo, Rng& rng,
+                                      std::size_t coreCount = 79,
+                                      std::size_t edgePerCore = 2);
+
+// Attach `count` host nodes, uniformly distributed across `edges` (1 ms
+// host-edge delay, as in the paper). Returns the host NodeIds.
+std::vector<NodeId> attachHosts(Topology& topo, const std::vector<NodeId>& edges,
+                                std::size_t count, Rng& rng);
+
+}  // namespace gcopss

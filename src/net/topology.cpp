@@ -1,0 +1,116 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace gcopss {
+
+std::uint64_t Topology::key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+NodeId Topology::addNode(std::string label) {
+  const auto id = static_cast<NodeId>(labels_.size());
+  if (label.empty()) label = "n" + std::to_string(id);
+  labels_.push_back(std::move(label));
+  adjacency_.emplace_back();
+  return id;
+}
+
+void Topology::addLink(NodeId a, NodeId b, SimTime delay, double bandwidthBps) {
+  assert(a != b);
+  assert(a >= 0 && static_cast<std::size_t>(a) < labels_.size());
+  assert(b >= 0 && static_cast<std::size_t>(b) < labels_.size());
+  assert(!hasLink(a, b) && "duplicate link");
+  links_.push_back(Link{a, b, delay, bandwidthBps});
+  linkIndex_[key(a, b)] = links_.size() - 1;
+  adjacency_[static_cast<std::size_t>(a)].push_back(b);
+  adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  spf_.clear();
+}
+
+bool Topology::hasLink(NodeId a, NodeId b) const {
+  return linkIndex_.count(key(a, b)) > 0;
+}
+
+const Topology::Link& Topology::linkBetween(NodeId a, NodeId b) const {
+  const auto it = linkIndex_.find(key(a, b));
+  if (it == linkIndex_.end()) throw std::out_of_range("no such link");
+  return links_[it->second];
+}
+
+const Topology::SpfTree& Topology::spfFrom(NodeId source) const {
+  auto it = spf_.find(source);
+  if (it != spf_.end()) return it->second;
+
+  SpfTree tree;
+  const std::size_t n = labels_.size();
+  tree.dist.assign(n, std::numeric_limits<SimTime>::max());
+  tree.parent.assign(n, kInvalidNode);
+
+  using Item = std::pair<SimTime, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  tree.dist[static_cast<std::size_t>(source)] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > tree.dist[static_cast<std::size_t>(u)]) continue;
+    for (NodeId v : adjacency_[static_cast<std::size_t>(u)]) {
+      const SimTime w = linkBetween(u, v).delay;
+      const SimTime nd = d + w;
+      if (nd < tree.dist[static_cast<std::size_t>(v)]) {
+        tree.dist[static_cast<std::size_t>(v)] = nd;
+        tree.parent[static_cast<std::size_t>(v)] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return spf_.emplace(source, std::move(tree)).first->second;
+}
+
+NodeId Topology::nextHop(NodeId from, NodeId to) const {
+  if (from == to) return from;
+  // Walk the destination's parent chain in the SPF tree rooted at `from`.
+  const SpfTree& tree = spfFrom(from);
+  NodeId cur = to;
+  if (tree.parent[static_cast<std::size_t>(cur)] == kInvalidNode) return kInvalidNode;
+  while (tree.parent[static_cast<std::size_t>(cur)] != from) {
+    cur = tree.parent[static_cast<std::size_t>(cur)];
+    if (cur == kInvalidNode) return kInvalidNode;
+  }
+  return cur;
+}
+
+SimTime Topology::pathDelay(NodeId from, NodeId to) const {
+  const SpfTree& tree = spfFrom(from);
+  const SimTime d = tree.dist[static_cast<std::size_t>(to)];
+  if (d == std::numeric_limits<SimTime>::max()) throw std::out_of_range("unreachable");
+  return d;
+}
+
+std::vector<NodeId> Topology::path(NodeId from, NodeId to) const {
+  const SpfTree& tree = spfFrom(from);
+  std::vector<NodeId> p;
+  NodeId cur = to;
+  while (cur != kInvalidNode && cur != from) {
+    p.push_back(cur);
+    cur = tree.parent[static_cast<std::size_t>(cur)];
+  }
+  if (cur != from) return {};  // unreachable
+  p.push_back(from);
+  std::reverse(p.begin(), p.end());
+  return p;
+}
+
+std::size_t Topology::hopCount(NodeId from, NodeId to) const {
+  const auto p = path(from, to);
+  return p.empty() ? 0 : p.size() - 1;
+}
+
+}  // namespace gcopss

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace gcopss {
+
+// An undirected weighted graph of nodes and links. Link weight (= propagation
+// delay) drives shortest-path routing, which every protocol stack in this
+// repo shares: NDN FIB population, COPSS RP paths and IP unicast all follow
+// the same SPF next-hop tables, as in the paper's simulator.
+class Topology {
+ public:
+  struct Link {
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    SimTime delay = 0;
+    double bandwidthBps = 1e9;
+  };
+
+  NodeId addNode(std::string label = {});
+  void addLink(NodeId a, NodeId b, SimTime delay, double bandwidthBps = 1e9);
+
+  std::size_t nodeCount() const { return labels_.size(); }
+  std::size_t linkCount() const { return links_.size(); }
+  const std::string& label(NodeId n) const { return labels_.at(static_cast<std::size_t>(n)); }
+
+  bool hasLink(NodeId a, NodeId b) const;
+  const Link& linkBetween(NodeId a, NodeId b) const;
+  const std::vector<NodeId>& neighbors(NodeId n) const {
+    return adjacency_.at(static_cast<std::size_t>(n));
+  }
+
+  // Next hop from `from` toward `to` along the min-delay path. Computes and
+  // caches one SPF tree per source on demand.
+  NodeId nextHop(NodeId from, NodeId to) const;
+  SimTime pathDelay(NodeId from, NodeId to) const;
+  std::vector<NodeId> path(NodeId from, NodeId to) const;
+  std::size_t hopCount(NodeId from, NodeId to) const;
+
+  // Drop all cached SPF state (call after mutating the graph).
+  void invalidateRoutes() { spf_.clear(); }
+
+ private:
+  struct SpfTree {
+    std::vector<SimTime> dist;
+    std::vector<NodeId> parent;  // parent[v] = previous hop on path source->v
+  };
+  const SpfTree& spfFrom(NodeId source) const;
+
+  std::vector<std::string> labels_;
+  std::vector<Link> links_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  // (a,b) -> index into links_, a < b
+  std::unordered_map<std::uint64_t, std::size_t> linkIndex_;
+  mutable std::unordered_map<NodeId, SpfTree> spf_;
+
+  static std::uint64_t key(NodeId a, NodeId b);
+};
+
+}  // namespace gcopss

@@ -1,0 +1,114 @@
+#include "trace/raw_filter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gcopss::trace {
+
+RawCapture synthesizeRawCapture(const RawCaptureConfig& cfg) {
+  Rng rng(cfg.seed);
+  RawCapture out;
+  out.duration = cfg.duration;
+
+  std::uint32_t nextAddress = 1;
+
+  // Real players: a sustained uplink stream plus server echoes.
+  for (std::size_t p = 0; p < cfg.realPlayers; ++p) {
+    const std::uint32_t addr = nextAddress++;
+    const auto primaryPort = static_cast<std::uint16_t>(rng.uniformInt(1024, 65000));
+    const bool hasSecondPort = rng.bernoulli(cfg.secondPortProb);
+    const auto secondPort = static_cast<std::uint16_t>(primaryPort + 1);
+
+    const double weight = rng.lognormal(0.0, cfg.updatesSigma);
+    const auto updates = std::max<std::size_t>(
+        250, static_cast<std::size_t>(weight * static_cast<double>(cfg.updatesPerPlayerMean)));
+    const double meanGap =
+        static_cast<double>(cfg.duration) / static_cast<double>(updates);
+    SimTime t = static_cast<SimTime>(rng.exponential(meanGap));
+    for (std::size_t u = 0; u < updates && t < cfg.duration; ++u) {
+      RawPacketRecord rec;
+      rec.time = t;
+      rec.address = addr;
+      rec.port = hasSecondPort && rng.bernoulli(0.3) ? secondPort : primaryPort;
+      rec.fromServer = false;
+      rec.size = static_cast<Bytes>(rng.uniformInt(static_cast<std::int64_t>(cfg.sizeMin),
+                                                   static_cast<std::int64_t>(cfg.sizeMax)));
+      out.packets.push_back(rec);
+      // Server echoes back state (downlink is heavier: Feng et al. [3]).
+      if (rng.uniform() < cfg.serverEchoFactor) {
+        RawPacketRecord echo = rec;
+        echo.fromServer = true;
+        echo.time = t + us(200);
+        echo.size = static_cast<Bytes>(rng.uniformInt(100, 500));
+        out.packets.push_back(echo);
+      }
+      t += static_cast<SimTime>(rng.exponential(meanGap));
+    }
+  }
+
+  // RTT probes: a handful of packets per address, well under the threshold.
+  for (std::size_t q = 0; q < cfg.probeAddresses; ++q) {
+    const std::uint32_t addr = nextAddress++;
+    const auto port = static_cast<std::uint16_t>(rng.uniformInt(1024, 65000));
+    const auto count = static_cast<std::size_t>(
+        rng.uniformInt(1, static_cast<std::int64_t>(cfg.probePacketsMax)));
+    SimTime t = rng.uniformInt(0, cfg.duration - 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      RawPacketRecord rec;
+      rec.time = t;
+      rec.address = addr;
+      rec.port = port;
+      rec.fromServer = i % 2 == 1;  // ping/pong
+      rec.size = 40;
+      out.packets.push_back(rec);
+      t += ms(rng.uniformInt(5, 100));
+    }
+  }
+
+  std::sort(out.packets.begin(), out.packets.end(),
+            [](const RawPacketRecord& a, const RawPacketRecord& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets) {
+  FilteredTrace out;
+
+  // Count packets per address:port over client->server traffic only.
+  std::map<std::pair<std::uint32_t, std::uint16_t>, std::size_t> perPair;
+  for (const auto& p : capture.packets) {
+    if (p.fromServer) {
+      ++out.droppedServerPackets;  // step (1)
+      continue;
+    }
+    ++perPair[{p.address, p.port}];
+  }
+
+  // Step (2): established connections only.
+  std::set<std::pair<std::uint32_t, std::uint16_t>> keptPairs;
+  for (const auto& [pair, count] : perPair) {
+    if (count >= minPackets) keptPairs.insert(pair);
+  }
+
+  // Step (3): one player per unique address.
+  std::set<std::uint32_t> addresses;
+  for (const auto& [addr, port] : keptPairs) {
+    (void)port;
+    if (!addresses.insert(addr).second) ++out.mergedPorts;
+  }
+  out.players.assign(addresses.begin(), addresses.end());
+
+  for (const auto& p : capture.packets) {
+    if (p.fromServer) continue;
+    if (!keptPairs.count({p.address, p.port})) {
+      ++out.droppedProbePackets;
+      continue;
+    }
+    out.updates.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace gcopss::trace

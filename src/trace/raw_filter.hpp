@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace gcopss::trace {
+
+// Section V-B derives the 414-player game trace from a raw Wireshark capture
+// of a busy Counter-Strike server: 2M packets, 32,765 addresses (59,294
+// address:port pairs) over 7h05m25s. This module models that derivation —
+// a synthetic raw capture with the same structure, and the paper's three
+// filtering steps:
+//   (1) discard all packets sent FROM the server (G-COPSS needs no server);
+//   (2) discard address:port pairs with fewer than `minPackets` packets
+//       (clients that only probed the server to measure RTT);
+//   (3) collapse to one player per unique address.
+
+struct RawPacketRecord {
+  SimTime time = 0;
+  std::uint32_t address = 0;  // opaque client address
+  std::uint16_t port = 0;
+  bool fromServer = false;    // direction: server -> client
+  Bytes size = 0;
+};
+
+struct RawCapture {
+  std::vector<RawPacketRecord> packets;  // time-ordered
+  SimTime duration = 0;
+};
+
+struct RawCaptureConfig {
+  std::size_t realPlayers = 414;      // clients with established connections
+  std::size_t probeAddresses = 2000;  // RTT probes: a few packets, then gone
+  std::size_t probePacketsMax = 8;    // always below the filter threshold
+  // Some players reconnect from a second port; step (3) must not double
+  // count them.
+  double secondPortProb = 0.15;
+  std::size_t updatesPerPlayerMean = 250;  // heavy-tailed (lognormal)
+  double updatesSigma = 1.0;
+  double serverEchoFactor = 1.2;  // downlink packets per uplink update
+  Bytes sizeMin = 50;
+  Bytes sizeMax = 350;
+  SimTime duration = 30 * kMinute;
+  std::uint64_t seed = 99;
+};
+
+RawCapture synthesizeRawCapture(const RawCaptureConfig& cfg);
+
+struct FilteredTrace {
+  std::vector<std::uint32_t> players;      // unique addresses kept
+  std::vector<RawPacketRecord> updates;    // their client->server packets
+  std::size_t droppedServerPackets = 0;    // step (1)
+  std::size_t droppedProbePackets = 0;     // step (2)
+  std::size_t mergedPorts = 0;             // step (3): extra ports collapsed
+};
+
+FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets = 100);
+
+}  // namespace gcopss::trace

@@ -1,0 +1,376 @@
+#include "wire/codec.hpp"
+
+#include "copss/packets.hpp"
+#include "gcopss/game_packets.hpp"
+#include "ipserver/ipserver.hpp"
+#include "ndn/packets.hpp"
+#include "ndngame/ndngame.hpp"
+
+namespace gcopss::wire {
+
+namespace {
+
+// Wire type tags (stable across versions; append-only).
+enum class Tag : std::uint8_t {
+  Interest = 1,
+  Data = 2,
+  Subscribe = 3,
+  Unsubscribe = 4,
+  Multicast = 5,
+  GameUpdate = 6,
+  SnapshotObject = 7,
+  FibAdd = 8,
+  FibRemove = 9,
+  RpHandoff = 10,
+  StJoin = 11,
+  StConfirm = 12,
+  StLeave = 13,
+  IpUnicast = 14,
+  UpdateSegment = 15,
+  Announce = 16,
+};
+
+void putName(WireWriter& w, const Name& n) {
+  w.varint(n.size());
+  for (const auto& c : n.components()) w.lengthPrefixed(c);
+}
+
+Name getName(WireReader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > 1024) throw WireError("name too deep");
+  std::vector<std::string> comps;
+  comps.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) comps.push_back(r.lengthPrefixed());
+  return Name(std::move(comps));
+}
+
+void putNames(WireWriter& w, const std::vector<Name>& names) {
+  w.varint(names.size());
+  for (const Name& n : names) putName(w, n);
+}
+
+std::vector<Name> getNames(WireReader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > 65536) throw WireError("too many names");
+  std::vector<Name> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(getName(r));
+  return out;
+}
+
+void putNode(WireWriter& w, NodeId n) { w.u32(static_cast<std::uint32_t>(n)); }
+NodeId getNode(WireReader& r) { return static_cast<NodeId>(r.u32()); }
+
+void encodeInto(WireWriter& w, const Packet& packet);  // fwd (nested encap)
+
+void encodeBody(WireWriter& w, const Packet& packet) {
+  switch (packet.kind) {
+    case Packet::Kind::Interest: {
+      const auto& p = static_cast<const ndn::InterestPacket&>(packet);
+      putName(w, p.name);
+      w.u64(p.nonce);
+      w.varint(p.size);
+      w.u8(p.encapsulated ? 1 : 0);
+      if (p.encapsulated) encodeInto(w, *p.encapsulated);
+      return;
+    }
+    case Packet::Kind::Data: {
+      if (const auto* seg = dynamic_cast<const ndngame::UpdateSegment*>(&packet)) {
+        putName(w, seg->name);
+        w.varint(seg->payloadSize);
+        w.i64(seg->createdAt);
+        w.u64(seg->seq);
+        w.varint(seg->updates.size());
+        for (const auto& u : seg->updates) {
+          w.u64(u.seq);
+          w.i64(u.publishedAt);
+          putName(w, u.cd);
+          w.varint(u.size);
+        }
+        return;
+      }
+      const auto& p = static_cast<const ndn::DataPacket&>(packet);
+      putName(w, p.name);
+      w.varint(p.payloadSize);
+      w.i64(p.createdAt);
+      w.u64(p.seq);
+      return;
+    }
+    case Packet::Kind::Subscribe: {
+      const auto& p = static_cast<const copss::SubscribePacket&>(packet);
+      putName(w, p.cd);
+      w.u8(p.scoped ? 1 : 0);
+      if (p.scoped) putName(w, p.scope);
+      return;
+    }
+    case Packet::Kind::Unsubscribe: {
+      const auto& p = static_cast<const copss::UnsubscribePacket&>(packet);
+      putName(w, p.cd);
+      w.u8(p.scoped ? 1 : 0);
+      if (p.scoped) putName(w, p.scope);
+      return;
+    }
+    case Packet::Kind::Multicast: {
+      const auto& p = static_cast<const copss::MulticastPacket&>(packet);
+      putNames(w, p.cds);
+      w.varint(p.payloadSize);
+      w.i64(p.publishedAt);
+      w.u64(p.seq);
+      putNode(w, p.publisher);
+      if (const auto* snap = dynamic_cast<const gc::SnapshotObjectPacket*>(&packet)) {
+        w.u32(snap->objectId);
+        w.u32(snap->cycleLength);
+      } else if (const auto* upd = dynamic_cast<const gc::GameUpdatePacket*>(&packet)) {
+        w.u32(upd->objectId);
+      } else if (const auto* ann = dynamic_cast<const copss::AnnouncePacket*>(&packet)) {
+        putName(w, ann->contentName);
+        w.varint(ann->fullSize);
+      }
+      return;
+    }
+    case Packet::Kind::FibAdd:
+    case Packet::Kind::FibRemove: {
+      const auto* add = dynamic_cast<const copss::FibAddPacket*>(&packet);
+      const auto* rem = dynamic_cast<const copss::FibRemovePacket*>(&packet);
+      putNames(w, add ? add->prefixes : rem->prefixes);
+      putNode(w, add ? add->origin : rem->origin);
+      w.u64(add ? add->txnId : rem->txnId);
+      return;
+    }
+    case Packet::Kind::RpHandoff: {
+      const auto& p = static_cast<const copss::RpHandoffPacket&>(packet);
+      putNames(w, p.cds);
+      putNode(w, p.oldRp);
+      putNode(w, p.newRp);
+      w.u64(p.txnId);
+      return;
+    }
+    case Packet::Kind::StJoin:
+    case Packet::Kind::StConfirm:
+    case Packet::Kind::StLeave: {
+      // All three share the {cds, txnId} layout.
+      if (const auto* j = dynamic_cast<const copss::StJoinPacket*>(&packet)) {
+        putNames(w, j->cds);
+        w.u64(j->txnId);
+      } else if (const auto* c = dynamic_cast<const copss::StConfirmPacket*>(&packet)) {
+        putNames(w, c->cds);
+        w.u64(c->txnId);
+      } else {
+        const auto& l = static_cast<const copss::StLeavePacket&>(packet);
+        putNames(w, l.cds);
+        w.u64(l.txnId);
+      }
+      return;
+    }
+    case Packet::Kind::IpUnicast: {
+      const auto& p = static_cast<const ipserver::IpUnicastPacket&>(packet);
+      putNode(w, p.src);
+      putNode(w, p.dst);
+      putName(w, p.cd);
+      w.varint(p.payloadSize);
+      w.i64(p.publishedAt);
+      w.u64(p.seq);
+      return;
+    }
+    default:
+      throw WireError("unsupported packet kind for encoding");
+  }
+}
+
+Tag tagFor(const Packet& packet) {
+  switch (packet.kind) {
+    case Packet::Kind::Interest: return Tag::Interest;
+    case Packet::Kind::Data:
+      return dynamic_cast<const ndngame::UpdateSegment*>(&packet) ? Tag::UpdateSegment
+                                                                  : Tag::Data;
+    case Packet::Kind::Subscribe: return Tag::Subscribe;
+    case Packet::Kind::Unsubscribe: return Tag::Unsubscribe;
+    case Packet::Kind::Multicast:
+      if (dynamic_cast<const gc::SnapshotObjectPacket*>(&packet)) return Tag::SnapshotObject;
+      if (dynamic_cast<const gc::GameUpdatePacket*>(&packet)) return Tag::GameUpdate;
+      if (dynamic_cast<const copss::AnnouncePacket*>(&packet)) return Tag::Announce;
+      return Tag::Multicast;
+    case Packet::Kind::FibAdd: return Tag::FibAdd;
+    case Packet::Kind::FibRemove: return Tag::FibRemove;
+    case Packet::Kind::RpHandoff: return Tag::RpHandoff;
+    case Packet::Kind::StJoin: return Tag::StJoin;
+    case Packet::Kind::StConfirm: return Tag::StConfirm;
+    case Packet::Kind::StLeave: return Tag::StLeave;
+    case Packet::Kind::IpUnicast: return Tag::IpUnicast;
+    default: throw WireError("unsupported packet kind for encoding");
+  }
+}
+
+void encodeInto(WireWriter& w, const Packet& packet) {
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(tagFor(packet)));
+  encodeBody(w, packet);
+}
+
+PacketPtr decodeFrame(WireReader& r);  // fwd
+
+PacketPtr decodeBody(Tag tag, WireReader& r) {
+  switch (tag) {
+    case Tag::Interest: {
+      Name name = getName(r);
+      const std::uint64_t nonce = r.u64();
+      const Bytes size = r.varint();
+      PacketPtr encap;
+      if (r.u8()) encap = decodeFrame(r);
+      return makePacket<ndn::InterestPacket>(std::move(name), nonce, size,
+                                             std::move(encap));
+    }
+    case Tag::Data: {
+      Name name = getName(r);
+      const Bytes payload = r.varint();
+      const SimTime created = r.i64();
+      const std::uint64_t seq = r.u64();
+      return makePacket<ndn::DataPacket>(std::move(name), payload, created, seq);
+    }
+    case Tag::UpdateSegment: {
+      Name name = getName(r);
+      const Bytes payload = r.varint();
+      const SimTime created = r.i64();
+      const std::uint64_t seq = r.u64();
+      const std::uint64_t count = r.varint();
+      if (count > 1 << 20) throw WireError("segment too large");
+      std::vector<ndngame::UpdateEntry> updates;
+      updates.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        ndngame::UpdateEntry e;
+        e.seq = r.u64();
+        e.publishedAt = r.i64();
+        e.cd = getName(r);
+        e.size = r.varint();
+        updates.push_back(std::move(e));
+      }
+      return makePacket<ndngame::UpdateSegment>(std::move(name), payload, created, seq,
+                                                std::move(updates));
+    }
+    case Tag::Subscribe: {
+      Name cd = getName(r);
+      if (r.u8()) return makePacket<copss::SubscribePacket>(std::move(cd), getName(r));
+      return makePacket<copss::SubscribePacket>(std::move(cd));
+    }
+    case Tag::Unsubscribe: {
+      Name cd = getName(r);
+      if (r.u8()) return makePacket<copss::UnsubscribePacket>(std::move(cd), getName(r));
+      return makePacket<copss::UnsubscribePacket>(std::move(cd));
+    }
+    case Tag::Multicast: {
+      auto cds = getNames(r);
+      const Bytes payload = r.varint();
+      const SimTime published = r.i64();
+      const std::uint64_t seq = r.u64();
+      const NodeId publisher = getNode(r);
+      return makePacket<copss::MulticastPacket>(std::move(cds), payload, published, seq,
+                                                publisher);
+    }
+    case Tag::GameUpdate: {
+      auto cds = getNames(r);
+      if (cds.size() != 1) throw WireError("game update carries exactly one CD");
+      const Bytes payload = r.varint();
+      const SimTime published = r.i64();
+      const std::uint64_t seq = r.u64();
+      const NodeId publisher = getNode(r);
+      const game::ObjectId obj = r.u32();
+      return makePacket<gc::GameUpdatePacket>(std::move(cds.front()), payload, published,
+                                              seq, publisher, obj);
+    }
+    case Tag::SnapshotObject: {
+      auto cds = getNames(r);
+      if (cds.size() != 1) throw WireError("snapshot object carries exactly one CD");
+      const Bytes payload = r.varint();
+      const SimTime published = r.i64();
+      const std::uint64_t seq = r.u64();
+      const NodeId publisher = getNode(r);
+      const game::ObjectId obj = r.u32();
+      const std::uint32_t cycleLen = r.u32();
+      return makePacket<gc::SnapshotObjectPacket>(std::move(cds.front()), payload,
+                                                  published, seq, publisher, obj,
+                                                  cycleLen);
+    }
+    case Tag::FibAdd: {
+      auto prefixes = getNames(r);
+      const NodeId origin = getNode(r);
+      const std::uint64_t txn = r.u64();
+      return makePacket<copss::FibAddPacket>(std::move(prefixes), origin, txn);
+    }
+    case Tag::FibRemove: {
+      auto prefixes = getNames(r);
+      const NodeId origin = getNode(r);
+      const std::uint64_t txn = r.u64();
+      return makePacket<copss::FibRemovePacket>(std::move(prefixes), origin, txn);
+    }
+    case Tag::RpHandoff: {
+      auto cds = getNames(r);
+      const NodeId oldRp = getNode(r);
+      const NodeId newRp = getNode(r);
+      const std::uint64_t txn = r.u64();
+      return makePacket<copss::RpHandoffPacket>(std::move(cds), oldRp, newRp, txn);
+    }
+    case Tag::StJoin: {
+      auto cds = getNames(r);
+      return makePacket<copss::StJoinPacket>(std::move(cds), r.u64());
+    }
+    case Tag::StConfirm: {
+      auto cds = getNames(r);
+      return makePacket<copss::StConfirmPacket>(std::move(cds), r.u64());
+    }
+    case Tag::StLeave: {
+      auto cds = getNames(r);
+      return makePacket<copss::StLeavePacket>(std::move(cds), r.u64());
+    }
+    case Tag::Announce: {
+      auto cds = getNames(r);
+      if (cds.size() != 1) throw WireError("announce carries exactly one CD");
+      const Bytes payload = r.varint();
+      const SimTime published = r.i64();
+      const std::uint64_t seq = r.u64();
+      const NodeId publisher = getNode(r);
+      Name content = getName(r);
+      const Bytes fullSize = r.varint();
+      if (payload != copss::kSnippetBytes) throw WireError("bad snippet size");
+      return makePacket<copss::AnnouncePacket>(std::move(cds.front()), std::move(content),
+                                               fullSize, published, seq, publisher);
+    }
+    case Tag::IpUnicast: {
+      const NodeId src = getNode(r);
+      const NodeId dst = getNode(r);
+      Name cd = getName(r);
+      const Bytes payload = r.varint();
+      const SimTime published = r.i64();
+      const std::uint64_t seq = r.u64();
+      return makePacket<ipserver::IpUnicastPacket>(src, dst, std::move(cd), payload,
+                                                   published, seq);
+    }
+  }
+  throw WireError("unknown packet tag");
+}
+
+PacketPtr decodeFrame(WireReader& r) {
+  if (r.u16() != kMagic) throw WireError("bad magic");
+  if (r.u8() != kVersion) throw WireError("unsupported version");
+  const auto tag = static_cast<Tag>(r.u8());
+  return decodeBody(tag, r);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Packet& packet) {
+  WireWriter w;
+  encodeInto(w, packet);
+  return w.take();
+}
+
+PacketPtr decode(const std::uint8_t* data, std::size_t size) {
+  WireReader r(data, size);
+  PacketPtr p = decodeFrame(r);
+  if (!r.atEnd()) throw WireError("trailing bytes");
+  return p;
+}
+
+std::size_t encodedSize(const Packet& packet) { return encode(packet).size(); }
+
+}  // namespace gcopss::wire

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "wire/buffer.hpp"
+
+namespace gcopss::wire {
+
+// Wire codec for every protocol packet type in the repository. The format is
+// a tiny framed encoding:
+//
+//   [magic u16] [version u8] [type u8] [body ...]
+//
+// Bodies serialize each field in declaration order; Names are component
+// lists (varint count, then length-prefixed components); nested packets
+// (COPSS Multicast encapsulated in an NDN Interest) recurse. Derived data —
+// e.g. a Multicast's prefix hashes — is recomputed on decode rather than
+// shipped, exactly as the paper's first-hop router would after
+// deserializing.
+//
+// encode() never fails; decode() throws WireError on any malformed input
+// (bad magic, unknown type, truncation, trailing bytes).
+
+constexpr std::uint16_t kMagic = 0x47C0;  // "GC"
+constexpr std::uint8_t kVersion = 1;
+
+std::vector<std::uint8_t> encode(const Packet& packet);
+
+inline std::vector<std::uint8_t> encode(const PacketPtr& packet) {
+  return encode(*packet);
+}
+
+PacketPtr decode(const std::uint8_t* data, std::size_t size);
+
+inline PacketPtr decode(const std::vector<std::uint8_t>& buf) {
+  return decode(buf.data(), buf.size());
+}
+
+// Serialized size without materializing the buffer (for accounting).
+std::size_t encodedSize(const Packet& packet);
+
+}  // namespace gcopss::wire

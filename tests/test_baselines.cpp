@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "des/simulator.hpp"
+#include "ipserver/ipserver.hpp"
+#include "ndngame/ndngame.hpp"
+#include "net/topo_factory.hpp"
+
+namespace gcopss::test {
+namespace {
+
+// ---------------- IP client/server ----------------
+
+struct IpWorld {
+  Simulator sim;
+  Topology topo;
+  std::vector<NodeId> routers;
+  NodeId serverId, c1, c2, c3;
+  std::unique_ptr<Network> net;
+  ipserver::ServerDirectory dir;
+  ipserver::GameServer* server = nullptr;
+  ipserver::IpClient* client1 = nullptr;
+  ipserver::IpClient* client2 = nullptr;
+  ipserver::IpClient* client3 = nullptr;
+
+  IpWorld() {
+    const auto bench = makeBenchmarkTopology(topo);
+    routers = bench.routers;
+    serverId = topo.addNode("server");
+    topo.addLink(serverId, routers[0], ms(1));  // server at R1
+    c1 = topo.addNode("c1");
+    c2 = topo.addNode("c2");
+    c3 = topo.addNode("c3");
+    topo.addLink(c1, routers[4], ms(1));
+    topo.addLink(c2, routers[5], ms(1));
+    topo.addLink(c3, routers[3], ms(1));
+    net = std::make_unique<Network>(sim, topo, SimParams::microbench());
+    for (NodeId r : routers) net->emplaceNode<ipserver::IpRouter>(r, *net);
+    server = &net->emplaceNode<ipserver::GameServer>(serverId, *net, dir);
+    client1 = &net->emplaceNode<ipserver::IpClient>(c1, *net, routers[4], dir);
+    client2 = &net->emplaceNode<ipserver::IpClient>(c2, *net, routers[5], dir);
+    client3 = &net->emplaceNode<ipserver::IpClient>(c3, *net, routers[3], dir);
+    for (NodeId c : {c1, c2, c3}) dir.setHomeServer(c, serverId);
+  }
+};
+
+TEST(IpServer, ServerFansOutToRecipientsOnly) {
+  IpWorld w;
+  w.dir.addRecipient(Name::parse("/1/1"), w.c1);
+  w.dir.addRecipient(Name::parse("/1/1"), w.c2);
+  w.dir.addRecipient(Name::parse("/1/1"), w.c3);
+
+  std::vector<NodeId> deliveredTo;
+  const auto cb = [&](const ipserver::IpUnicastPacket& u, SimTime) {
+    deliveredTo.push_back(u.dst);
+  };
+  w.client1->setDeliveryCallback(cb);
+  w.client2->setDeliveryCallback(cb);
+  w.client3->setDeliveryCallback(cb);
+
+  // client1 publishes: it must NOT get its own update back.
+  w.sim.scheduleAt(0, [&]() { w.client1->publish(Name::parse("/1/1"), 100, 1); });
+  w.sim.run();
+  EXPECT_EQ(w.server->updatesServed(), 1u);
+  EXPECT_EQ(w.server->copiesSent(), 2u);
+  EXPECT_EQ(deliveredTo.size(), 2u);
+  for (NodeId d : deliveredTo) EXPECT_NE(d, w.c1);
+}
+
+TEST(IpServer, UnicastCopiesSerializeOnServerCpu) {
+  IpWorld w;
+  for (int i = 0; i < 40; ++i) {
+    // Many recipients on the same client node: the copies pace out at
+    // serverUnicastCost each.
+    w.dir.addRecipient(Name::parse("/x"), w.c2);
+  }
+  std::vector<SimTime> arrivals;
+  w.client2->setDeliveryCallback(
+      [&](const ipserver::IpUnicastPacket&, SimTime t) { arrivals.push_back(t); });
+  w.sim.scheduleAt(0, [&]() { w.client1->publish(Name::parse("/x"), 100, 1); });
+  w.sim.run();
+  ASSERT_EQ(arrivals.size(), 40u);
+  const SimTime spacing = w.net->params().serverUnicastCost;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], spacing);
+  }
+}
+
+TEST(IpServer, DirectoryRoutesByHomeServer) {
+  ipserver::ServerDirectory dir;
+  dir.setHomeServer(7, 100);
+  dir.setHomeServer(8, 200);
+  EXPECT_EQ(dir.serverForPlayer(7), 100);
+  EXPECT_EQ(dir.serverForPlayer(8), 200);
+  EXPECT_THROW(dir.serverForPlayer(9), std::out_of_range);
+}
+
+// ---------------- NDN (VoCCN) baseline ----------------
+
+struct NdnWorld {
+  Simulator sim;
+  Topology topo;
+  std::vector<NodeId> routers;
+  NodeId hostA, hostB;
+  std::unique_ptr<Network> net;
+  ndngame::NdnRouterNode* r0 = nullptr;
+  ndngame::NdnGamePlayer* a = nullptr;
+  ndngame::NdnGamePlayer* b = nullptr;
+
+  explicit NdnWorld(ndngame::NdnGamePlayer::Options opts = {}) {
+    const NodeId r = topo.addNode("r");
+    routers.push_back(r);
+    hostA = topo.addNode("A");
+    hostB = topo.addNode("B");
+    topo.addLink(hostA, r, ms(1));
+    topo.addLink(hostB, r, ms(1));
+    net = std::make_unique<Network>(sim, topo, SimParams::microbench());
+    r0 = &net->emplaceNode<ndngame::NdnRouterNode>(r, *net);
+    a = &net->emplaceNode<ndngame::NdnGamePlayer>(hostA, *net, 0, r, opts);
+    b = &net->emplaceNode<ndngame::NdnGamePlayer>(hostB, *net, 1, r, opts);
+    r0->engine().fib().insert(ndngame::NdnGamePlayer::prefixFor(0), hostA);
+    r0->engine().fib().insert(ndngame::NdnGamePlayer::prefixFor(1), hostB);
+    b->setPeers({0});
+    b->setVisibilityFilter([](const Name&) { return true; });
+  }
+};
+
+TEST(NdnGame, AccumulatedSegmentDeliversUpdates) {
+  NdnWorld w;
+  std::vector<std::uint64_t> got;
+  w.b->setDeliveryCallback(
+      [&](const ndngame::UpdateEntry& e, SimTime) { got.push_back(e.seq); });
+  w.sim.scheduleAt(0, [&]() { w.b->start(); });
+  // Two updates inside one 100ms accumulation window travel as one segment.
+  w.sim.scheduleAt(ms(10), [&]() { w.a->publishUpdate(Name::parse("/1/1"), 50, 1); });
+  w.sim.scheduleAt(ms(40), [&]() { w.a->publishUpdate(Name::parse("/1/2"), 50, 2); });
+  w.sim.run(seconds(30));
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(w.a->segmentsProduced(), 1u);
+}
+
+TEST(NdnGame, VisibilityFilterDropsOutOfAoI) {
+  NdnWorld w;
+  w.b->setVisibilityFilter([](const Name& cd) { return cd == Name::parse("/1/1"); });
+  std::vector<std::uint64_t> got;
+  w.b->setDeliveryCallback(
+      [&](const ndngame::UpdateEntry& e, SimTime) { got.push_back(e.seq); });
+  w.sim.scheduleAt(0, [&]() { w.b->start(); });
+  w.sim.scheduleAt(ms(10), [&]() { w.a->publishUpdate(Name::parse("/1/1"), 50, 1); });
+  w.sim.scheduleAt(ms(20), [&]() { w.a->publishUpdate(Name::parse("/9/9"), 50, 2); });
+  w.sim.run(seconds(30));
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(NdnGame, PipelineKeepsWindowOutstanding) {
+  ndngame::NdnGamePlayer::Options opts;
+  opts.window = 3;
+  NdnWorld w(opts);
+  std::size_t delivered = 0;
+  w.b->setDeliveryCallback([&](const ndngame::UpdateEntry&, SimTime) { ++delivered; });
+  w.sim.scheduleAt(0, [&]() { w.b->start(); });
+  // Produce 6 segments spaced past the accumulation window; the pipeline
+  // must keep sliding and fetch all of them.
+  for (int i = 0; i < 6; ++i) {
+    w.sim.scheduleAt(ms(200) * (i + 1),
+                     [&, i]() { w.a->publishUpdate(Name::parse("/1/1"), 20, i + 1); });
+  }
+  w.sim.run(seconds(60));
+  EXPECT_EQ(delivered, 6u);
+}
+
+TEST(NdnGame, RetransmissionRecoversFromLoss) {
+  ndngame::NdnGamePlayer::Options opts;
+  opts.rto = ms(300);
+  NdnWorld w(opts);
+  std::size_t delivered = 0;
+  w.b->setDeliveryCallback([&](const ndngame::UpdateEntry&, SimTime) { ++delivered; });
+  // Make the router drop almost everything briefly by saturating its CPU.
+  w.net->mutableParams().dropBacklog = ns(1);
+  w.sim.scheduleAt(0, [&]() { w.b->start(); });
+  w.sim.scheduleAt(ms(10), [&]() { w.a->publishUpdate(Name::parse("/1/1"), 20, 1); });
+  // Heal the network shortly after; retransmissions must recover.
+  w.sim.scheduleAt(ms(500), [&]() { w.net->mutableParams().dropBacklog = 0; });
+  w.sim.run(seconds(30));
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_GT(w.b->retransmissions(), 0u);
+}
+
+}  // namespace
+}  // namespace gcopss::test

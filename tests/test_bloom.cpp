@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/bloom.hpp"
+#include "common/rng.hpp"
+
+namespace gcopss::test {
+namespace {
+
+TEST(Bloom, AddContainsRemove) {
+  CountingBloomFilter bloom(1024, 5);
+  const Name cd = Name::parse("/1/2");
+  EXPECT_FALSE(bloom.possiblyContains(cd));
+  bloom.add(cd);
+  EXPECT_TRUE(bloom.possiblyContains(cd));
+  bloom.remove(cd);
+  EXPECT_FALSE(bloom.possiblyContains(cd));
+}
+
+TEST(Bloom, CountingSupportsMultiplicity) {
+  CountingBloomFilter bloom(1024, 5);
+  const Name cd = Name::parse("/x");
+  bloom.add(cd);
+  bloom.add(cd);
+  bloom.remove(cd);
+  EXPECT_TRUE(bloom.possiblyContains(cd)) << "one reference must remain";
+  bloom.remove(cd);
+  EXPECT_FALSE(bloom.possiblyContains(cd));
+}
+
+TEST(Bloom, NoFalseNegativesEver) {
+  CountingBloomFilter bloom(1 << 12, 7);
+  std::vector<Name> added;
+  for (int i = 0; i < 500; ++i) {
+    added.push_back(Name::parse("/a/" + std::to_string(i)));
+    bloom.add(added.back());
+  }
+  for (const Name& n : added) EXPECT_TRUE(bloom.possiblyContains(n));
+}
+
+TEST(Bloom, FalsePositiveRateNearPrediction) {
+  CountingBloomFilter bloom(1 << 12, 7);
+  for (int i = 0; i < 400; ++i) bloom.add(Name::parse("/in/" + std::to_string(i)));
+  std::size_t fp = 0;
+  const std::size_t probes = 20000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    if (bloom.possiblyContains(Name::parse("/out/" + std::to_string(i)))) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / static_cast<double>(probes);
+  const double predicted = bloom.predictedFalsePositiveRate();
+  EXPECT_LT(measured, predicted * 3 + 0.001);
+  EXPECT_LT(predicted, 0.01) << "this sizing should be well under 1%";
+}
+
+TEST(Bloom, ClearEmptiesEverything) {
+  CountingBloomFilter bloom(256, 4);
+  for (int i = 0; i < 50; ++i) bloom.add(Name::parse("/c/" + std::to_string(i)));
+  bloom.clear();
+  EXPECT_EQ(bloom.approxEntries(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(bloom.possiblyContains(Name::parse("/c/" + std::to_string(i))));
+  }
+}
+
+// Property: remove() of absent elements never disturbs present ones beyond
+// counting-bloom semantics (with saturation, removals of saturated cells are
+// skipped so false negatives stay impossible).
+TEST(Bloom, RemoveAbsentKeepsPresentSafe) {
+  Rng rng(11);
+  CountingBloomFilter bloom(1 << 10, 5);
+  std::vector<Name> present;
+  for (int i = 0; i < 100; ++i) {
+    present.push_back(Name::parse("/p/" + std::to_string(i)));
+    bloom.add(present.back());
+  }
+  // These removals hit cells shared with present elements.
+  for (int i = 0; i < 100; ++i) {
+    const Name absent = Name::parse("/q/" + std::to_string(i));
+    if (bloom.possiblyContains(absent)) continue;  // only remove true-absent
+    bloom.remove(absent);
+  }
+  for (const Name& n : present) EXPECT_TRUE(bloom.possiblyContains(n));
+}
+
+}  // namespace
+}  // namespace gcopss::test

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "world_fixture.hpp"
+
+namespace gcopss::test {
+namespace {
+
+// Failure injection: a crashed RP blackholes publications; a surviving
+// router assumes the role in-protocol (FIB flood + join/confirm re-homing),
+// bounding the loss window without touching any client.
+TEST(FailureRecovery, RpCrashThenAssumeRpRestoresDelivery) {
+  // Ring: surviving routers stay connected around the failed one.
+  LineWorld w(6, {}, SimParams::largeScale(), /*ring=*/true);
+  w.singleRootRp(2);
+  DeliveryLog log;
+  log.attach(w);
+
+  w.sim->scheduleAt(0, [&]() {
+    w.clients[0]->subscribe(Name());
+    w.clients[5]->subscribe(Name::parse("/1"));
+  });
+
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 200; ++i) {
+    ++seq;
+    w.sim->scheduleAt(ms(20) + ms(5) * i,
+                      [&, s = seq]() { w.clients[1]->publish(Name::parse("/1/1"), 15, s); });
+  }
+  const std::uint64_t total = seq;
+
+  // Crash the RP at 300 ms; router 4 assumes its prefixes at 500 ms.
+  w.sim->scheduleAt(ms(300), [&]() { w.net->setNodeFailed(w.routerIds[2], true); });
+  w.sim->scheduleAt(ms(500), [&]() { w.routers[4]->assumeRp({Name()}); });
+  w.sim->run();
+
+  // Before the crash (~seq 56) and well after the recovery (~seq 110+),
+  // everything is delivered; in between there is a bounded loss window.
+  std::size_t lostAfterRecovery = 0;
+  for (std::uint64_t s = 1; s <= 50; ++s) {
+    EXPECT_TRUE(log.got(0, s)) << "pre-crash loss at " << s;
+    EXPECT_TRUE(log.got(5, s)) << "pre-crash loss at " << s;
+  }
+  for (std::uint64_t s = 120; s <= total; ++s) {
+    lostAfterRecovery += !log.got(0, s);
+    lostAfterRecovery += !log.got(5, s);
+  }
+  EXPECT_EQ(lostAfterRecovery, 0u) << "recovery must fully restore delivery";
+  // The outage really did lose something (the window is not free).
+  std::size_t lostDuring = 0;
+  for (std::uint64_t s = 57; s <= 96; ++s) lostDuring += !log.got(0, s);
+  EXPECT_GT(lostDuring, 0u);
+  EXPECT_GT(w.net->totalDrops(), 0u);
+  EXPECT_TRUE(w.routers[4]->isRpFor(Name::parse("/1/1")));
+}
+
+TEST(FailureRecovery, NewSubscribersJoinTheReplacementRp) {
+  LineWorld w(5, {}, SimParams::largeScale(), /*ring=*/true);
+  w.singleRootRp(1);
+  DeliveryLog log;
+  log.attach(w);
+
+  w.sim->scheduleAt(ms(10), [&]() { w.net->setNodeFailed(w.routerIds[1], true); });
+  w.sim->scheduleAt(ms(20), [&]() { w.routers[3]->assumeRp({Name()}); });
+  // Subscribe only after the recovery: the route must already point at R3.
+  w.sim->scheduleAt(ms(200), [&]() { w.clients[4]->subscribe(Name::parse("/2")); });
+  w.sim->scheduleAt(ms(400), [&]() { w.clients[0]->publish(Name::parse("/2/2"), 10, 1); });
+  w.sim->run();
+
+  EXPECT_TRUE(log.got(4, 1));
+  EXPECT_EQ(w.routers[3]->rpDecapsulations(), 1u);
+}
+
+TEST(FailureRecovery, RevivedNodeStaysOutOfThePath) {
+  // After recovery, reviving the crashed router must not re-capture traffic:
+  // the flood re-pointed every FIB at the replacement.
+  LineWorld w(4, {}, SimParams::largeScale(), /*ring=*/true);
+  w.singleRootRp(1);
+  DeliveryLog log;
+  log.attach(w);
+  w.sim->scheduleAt(0, [&]() { w.clients[3]->subscribe(Name()); });
+  w.sim->scheduleAt(ms(50), [&]() { w.net->setNodeFailed(w.routerIds[1], true); });
+  w.sim->scheduleAt(ms(100), [&]() { w.routers[2]->assumeRp({Name()}); });
+  w.sim->scheduleAt(ms(300), [&]() { w.net->setNodeFailed(w.routerIds[1], false); });
+  w.sim->scheduleAt(ms(400), [&]() { w.clients[0]->publish(Name::parse("/1/1"), 10, 9); });
+  w.sim->run();
+  EXPECT_TRUE(log.got(3, 9));
+  EXPECT_EQ(w.routers[2]->rpDecapsulations(), 1u);
+  EXPECT_EQ(w.routers[1]->rpDecapsulations(), 0u);
+}
+
+TEST(FailureInjection, FailedHostSimplyStopsReceiving) {
+  LineWorld w(3);
+  w.singleRootRp(0);
+  DeliveryLog log;
+  log.attach(w);
+  w.sim->scheduleAt(0, [&]() { w.clients[2]->subscribe(Name()); });
+  w.sim->scheduleAt(ms(100), [&]() { w.clients[1]->publish(Name::parse("/a"), 10, 1); });
+  w.sim->scheduleAt(ms(200), [&]() { w.net->setNodeFailed(w.clientIds[2], true); });
+  w.sim->scheduleAt(ms(300), [&]() { w.clients[1]->publish(Name::parse("/a"), 10, 2); });
+  w.sim->run();
+  EXPECT_TRUE(log.got(2, 1));
+  EXPECT_FALSE(log.got(2, 2));
+}
+
+}  // namespace
+}  // namespace gcopss::test

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/name.hpp"
+
+namespace gcopss::test {
+namespace {
+
+TEST(Name, ParseBasics) {
+  EXPECT_TRUE(Name::parse("/").empty());
+  EXPECT_TRUE(Name::parse("").empty());
+  const Name n = Name::parse("/1/2");
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.at(0), "1");
+  EXPECT_EQ(n.at(1), "2");
+  EXPECT_EQ(n.toString(), "/1/2");
+}
+
+TEST(Name, TrailingSlashIsTheAboveLeaf) {
+  // The paper writes the airspace above region 1 as "/1/".
+  const Name n = Name::parse("/1/");
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.at(1), Name::kAboveComponent);
+  EXPECT_TRUE(n.isAboveLeaf());
+  EXPECT_EQ(n, Name::parse("/1").aboveLeaf());
+}
+
+TEST(Name, RootToString) { EXPECT_EQ(Name().toString(), "/"); }
+
+TEST(Name, PrefixRelations) {
+  const Name root;
+  const Name r1 = Name::parse("/1");
+  const Name z12 = Name::parse("/1/2");
+  EXPECT_TRUE(root.isPrefixOf(z12));
+  EXPECT_TRUE(r1.isPrefixOf(z12));
+  EXPECT_TRUE(z12.isPrefixOf(z12));
+  EXPECT_FALSE(z12.isPrefixOf(r1));
+  EXPECT_TRUE(r1.isStrictPrefixOf(z12));
+  EXPECT_FALSE(z12.isStrictPrefixOf(z12));
+  EXPECT_FALSE(Name::parse("/2").isPrefixOf(z12));
+  // Component-wise, not textual: /1 is not a prefix of /11.
+  EXPECT_FALSE(Name::parse("/1").isPrefixOf(Name::parse("/11")));
+}
+
+TEST(Name, ParentAndPrefix) {
+  const Name n = Name::parse("/a/b/c");
+  EXPECT_EQ(n.parent(), Name::parse("/a/b"));
+  EXPECT_EQ(n.prefix(0), Name());
+  EXPECT_EQ(n.prefix(2), Name::parse("/a/b"));
+  EXPECT_EQ(n.prefix(3), n);
+}
+
+TEST(Name, AppendRoundTrips) {
+  const Name n = Name::parse("/x").append("y").append(Name::parse("/z/w"));
+  EXPECT_EQ(n.toString(), "/x/y/z/w");
+}
+
+TEST(Name, HashDistinguishesHierarchy) {
+  // The hash must separate names that concatenate to the same string.
+  EXPECT_NE(Name::parse("/ab/c").hash(), Name::parse("/a/bc").hash());
+  EXPECT_NE(Name::parse("/1").hash(), Name::parse("/1/").hash());
+  EXPECT_EQ(Name::parse("/1/2").hash(), Name::parse("/1/2").hash());
+}
+
+TEST(Name, OrderingIsComponentWise) {
+  EXPECT_LT(Name::parse("/1"), Name::parse("/1/1"));
+  EXPECT_LT(Name::parse("/1/9"), Name::parse("/2"));
+}
+
+// Property sweep: parse(toString(n)) == n over a generated name universe.
+class NameRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NameRoundTrip, ParsePrintParse) {
+  const Name n = Name::parse(GetParam());
+  EXPECT_EQ(Name::parse(n.toString()), n) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, NameRoundTrip,
+                         ::testing::Values("/", "/1", "/1/2", "/1/", "/1/2/3/4/5",
+                                           "/sports/football", "/_", "/1/_",
+                                           "/snapshot/1/2/o/17"));
+
+}  // namespace
+}  // namespace gcopss::test

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "ndn/content_store.hpp"
+#include "ndn/fib.hpp"
+#include "ndn/forwarder.hpp"
+#include "ndn/pit.hpp"
+
+namespace gcopss::test {
+namespace {
+
+using namespace gcopss::ndn;
+
+// ---------------- FIB ----------------
+
+TEST(Fib, LongestPrefixMatchWins) {
+  Fib fib;
+  fib.insert(Name::parse("/a"), 1);
+  fib.insert(Name::parse("/a/b"), 2);
+  EXPECT_EQ(fib.lpm(Name::parse("/a/b/c")), (std::vector<NodeId>{2}));
+  EXPECT_EQ(fib.lpm(Name::parse("/a/x")), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(fib.lpm(Name::parse("/z")).empty());
+}
+
+TEST(Fib, RootEntryCatchesEverything) {
+  Fib fib;
+  fib.insert(Name(), 7);
+  EXPECT_EQ(fib.lpm(Name::parse("/anything/at/all")), (std::vector<NodeId>{7}));
+}
+
+TEST(Fib, MultipleFacesPerPrefix) {
+  Fib fib;
+  fib.insert(Name::parse("/m"), 1);
+  fib.insert(Name::parse("/m"), 2);
+  const auto faces = fib.lpm(Name::parse("/m/x"));
+  EXPECT_EQ(faces.size(), 2u);
+  EXPECT_TRUE(fib.remove(Name::parse("/m"), 1));
+  EXPECT_EQ(fib.lpm(Name::parse("/m/x")), (std::vector<NodeId>{2}));
+  EXPECT_FALSE(fib.remove(Name::parse("/m"), 1));  // already gone
+}
+
+TEST(Fib, RemovePrefixClearsAllFaces) {
+  Fib fib;
+  fib.insert(Name::parse("/p"), 1);
+  fib.insert(Name::parse("/p"), 2);
+  fib.removePrefix(Name::parse("/p"));
+  EXPECT_TRUE(fib.lpm(Name::parse("/p/q")).empty());
+  EXPECT_EQ(fib.entryCount(), 0u);
+}
+
+TEST(Fib, IntersectingFindsAncestorsAndDescendants) {
+  Fib fib;
+  fib.insert(Name::parse("/1/1"), 1);
+  fib.insert(Name::parse("/1/2"), 2);
+  fib.insert(Name::parse("/2"), 3);
+  fib.insert(Name(), 4);
+
+  // /1 intersects its descendants /1/1, /1/2 and its ancestor root.
+  const auto hits = fib.intersecting(Name::parse("/1"));
+  std::set<std::string> prefixes;
+  for (const auto& [p, f] : hits) {
+    (void)f;
+    prefixes.insert(p.toString());
+  }
+  EXPECT_EQ(prefixes, (std::set<std::string>{"/", "/1/1", "/1/2"}));
+}
+
+// ---------------- PIT ----------------
+
+TEST(Pit, AggregatesDistinctFaces) {
+  Pit pit;
+  EXPECT_EQ(pit.insert(Name::parse("/n"), 1, 100, 0), Pit::InsertResult::Forward);
+  EXPECT_EQ(pit.insert(Name::parse("/n"), 2, 101, 0), Pit::InsertResult::Aggregated);
+  const auto faces = pit.consume(Name::parse("/n"), 0);
+  EXPECT_EQ(faces.size(), 2u);
+  EXPECT_TRUE(pit.consume(Name::parse("/n"), 0).empty());  // consumed once
+}
+
+TEST(Pit, DuplicateNonceIsALoop) {
+  Pit pit;
+  pit.insert(Name::parse("/n"), 1, 42, 0);
+  EXPECT_EQ(pit.insert(Name::parse("/n"), 3, 42, 0), Pit::InsertResult::DuplicateNonce);
+}
+
+TEST(Pit, SameFaceRetransmissionForwardsAgain) {
+  // A consumer retransmission (same face, fresh nonce) must be re-forwarded,
+  // or the consumer livelocks refreshing its own stale entry.
+  Pit pit;
+  pit.insert(Name::parse("/n"), 1, 100, 0);
+  EXPECT_EQ(pit.insert(Name::parse("/n"), 1, 101, ms(10)), Pit::InsertResult::Forward);
+}
+
+TEST(Pit, ExpiryRemovesEntries) {
+  Pit pit(ms(100));
+  pit.insert(Name::parse("/n"), 1, 1, 0);
+  EXPECT_TRUE(pit.contains(Name::parse("/n"), ms(50)));
+  EXPECT_FALSE(pit.contains(Name::parse("/n"), ms(150)));
+  EXPECT_TRUE(pit.consume(Name::parse("/n"), ms(150)).empty());
+  // A fresh Interest after expiry forwards again.
+  EXPECT_EQ(pit.insert(Name::parse("/m"), 1, 2, 0), Pit::InsertResult::Forward);
+  EXPECT_EQ(pit.insert(Name::parse("/m"), 2, 3, ms(200)), Pit::InsertResult::Forward);
+}
+
+TEST(Pit, PurgeExpired) {
+  Pit pit(ms(10));
+  for (int i = 0; i < 5; ++i) pit.insert(Name::parse("/p/" + std::to_string(i)), 1, i, 0);
+  pit.purgeExpired(ms(20));
+  EXPECT_EQ(pit.size(), 0u);
+}
+
+// ---------------- Content Store ----------------
+
+TEST(ContentStore, LruEvictsOldest) {
+  ContentStore cs(2);
+  auto mk = [](const char* n) {
+    return std::make_shared<const DataPacket>(Name::parse(n), 10, 0, 0);
+  };
+  cs.insert(mk("/a"), 0);
+  cs.insert(mk("/b"), 0);
+  EXPECT_NE(cs.find(Name::parse("/a"), 0), nullptr);  // touch /a: /b is LRU now
+  cs.insert(mk("/c"), 0);                             // evicts /b
+  EXPECT_EQ(cs.find(Name::parse("/b"), 0), nullptr);
+  EXPECT_NE(cs.find(Name::parse("/a"), 0), nullptr);
+  EXPECT_NE(cs.find(Name::parse("/c"), 0), nullptr);
+}
+
+TEST(ContentStore, FreshnessAgesContentOut) {
+  ContentStore cs(8, ms(100));
+  cs.insert(std::make_shared<const DataPacket>(Name::parse("/f"), 10, 0, 0), 0);
+  EXPECT_NE(cs.find(Name::parse("/f"), ms(50)), nullptr);
+  EXPECT_EQ(cs.find(Name::parse("/f"), ms(200)), nullptr) << "stale entries vanish";
+}
+
+TEST(ContentStore, ZeroCapacityNeverStores) {
+  ContentStore cs(0);
+  cs.insert(std::make_shared<const DataPacket>(Name::parse("/x"), 10, 0, 0), 0);
+  EXPECT_EQ(cs.find(Name::parse("/x"), 0), nullptr);
+}
+
+// ---------------- Forwarder (table-level, no network) ----------------
+
+struct ForwarderHarness {
+  std::vector<std::pair<NodeId, PacketPtr>> sent;
+  std::vector<Name> localData;
+  SimTime now = 0;
+  Forwarder fwd;
+
+  ForwarderHarness()
+      : fwd(Forwarder::Hooks{
+                [this](NodeId f, PacketPtr p) { sent.emplace_back(f, std::move(p)); },
+                nullptr,
+                [this](const std::shared_ptr<const DataPacket>& d) {
+                  localData.push_back(d->name);
+                }},
+            Forwarder::Options{}, [this]() { return now; }) {}
+};
+
+TEST(Forwarder, InterestFollowsFibAndDataFollowsPit) {
+  ForwarderHarness h;
+  h.fwd.fib().insert(Name::parse("/src"), 5);
+  h.fwd.onInterest(1, std::make_shared<const InterestPacket>(Name::parse("/src/x"), 1));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].first, 5);
+
+  h.fwd.onData(5, std::make_shared<const DataPacket>(Name::parse("/src/x"), 10, 0, 0));
+  ASSERT_EQ(h.sent.size(), 2u);
+  EXPECT_EQ(h.sent[1].first, 1);  // reverse path
+}
+
+TEST(Forwarder, CacheHitAnswersWithoutForwarding) {
+  ForwarderHarness h;
+  h.fwd.fib().insert(Name::parse("/src"), 5);
+  h.fwd.onInterest(1, std::make_shared<const InterestPacket>(Name::parse("/src/x"), 1));
+  h.fwd.onData(5, std::make_shared<const DataPacket>(Name::parse("/src/x"), 10, 0, 0));
+  h.sent.clear();
+  // Second Interest for the same name: served from the CS on face 2.
+  h.fwd.onInterest(2, std::make_shared<const InterestPacket>(Name::parse("/src/x"), 2));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].first, 2);
+  EXPECT_EQ(h.fwd.contentStore().hits(), 1u);
+}
+
+TEST(Forwarder, NoRouteCountsDrop) {
+  ForwarderHarness h;
+  h.fwd.onInterest(1, std::make_shared<const InterestPacket>(Name::parse("/nowhere"), 1));
+  EXPECT_TRUE(h.sent.empty());
+  EXPECT_EQ(h.fwd.noRouteDrops(), 1u);
+}
+
+TEST(Forwarder, UnsolicitedDataDropped) {
+  ForwarderHarness h;
+  h.fwd.onData(3, std::make_shared<const DataPacket>(Name::parse("/ghost"), 10, 0, 0));
+  EXPECT_TRUE(h.sent.empty());
+  EXPECT_EQ(h.fwd.unsolicitedDataDrops(), 1u);
+}
+
+TEST(Forwarder, LocalExpressAndSatisfy) {
+  ForwarderHarness h;
+  h.fwd.fib().insert(Name::parse("/p"), 4);
+  h.fwd.expressInterest(std::make_shared<const InterestPacket>(Name::parse("/p/d"), 9));
+  ASSERT_EQ(h.sent.size(), 1u);
+  h.fwd.onData(4, std::make_shared<const DataPacket>(Name::parse("/p/d"), 10, 0, 0));
+  ASSERT_EQ(h.localData.size(), 1u);
+  EXPECT_EQ(h.localData[0], Name::parse("/p/d"));
+}
+
+}  // namespace
+}  // namespace gcopss::test

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+
+namespace gcopss::test {
+namespace {
+
+// A sink node recording arrival times.
+class SinkNode : public Node {
+ public:
+  SinkNode(NodeId id, Network& net, SimTime service) : Node(id, net), service_(service) {}
+  void handle(NodeId from, const PacketPtr&) override {
+    arrivals.push_back({from, sim().now()});
+  }
+  SimTime serviceTime(const PacketPtr&) const override { return service_; }
+  void emit(NodeId to, Bytes size) {
+    send(to, std::make_shared<const Packet>(Packet::Kind::IpUnicast, size));
+  }
+  void emitAfter(SimTime d, NodeId to, Bytes size) {
+    sendAfter(d, to, std::make_shared<const Packet>(Packet::Kind::IpUnicast, size));
+  }
+  void burnCpu(SimTime d) { extendCpuBusy(d); }
+
+  std::vector<std::pair<NodeId, SimTime>> arrivals;
+
+ private:
+  SimTime service_;
+};
+
+struct TwoNodes {
+  Simulator sim;
+  Topology topo;
+  NodeId a, b;
+  std::unique_ptr<Network> net;
+  SinkNode* na = nullptr;
+  SinkNode* nb = nullptr;
+
+  explicit TwoNodes(SimTime delay = ms(10), double bw = 1e9,
+                    SimTime serviceB = ms(1)) {
+    a = topo.addNode("a");
+    b = topo.addNode("b");
+    topo.addLink(a, b, delay, bw);
+    net = std::make_unique<Network>(sim, topo);
+    na = &net->emplaceNode<SinkNode>(a, *net, ms(1));
+    nb = &net->emplaceNode<SinkNode>(b, *net, serviceB);
+  }
+};
+
+TEST(Network, LatencyIsPropagationPlusTransmissionPlusService) {
+  TwoNodes w(ms(10), 1e6 /* 1 Mbps */, ms(1));
+  // 1000 bytes at 1 Mbps = 8 ms transmission.
+  w.sim.scheduleAt(0, [&]() { w.na->emit(w.b, 1000); });
+  w.sim.run();
+  ASSERT_EQ(w.nb->arrivals.size(), 1u);
+  EXPECT_EQ(w.nb->arrivals[0].second, ms(10) + ms(8) + ms(1));
+  EXPECT_EQ(w.net->totalLinkBytes(), 1000u);
+  EXPECT_EQ(w.net->totalLinkPackets(), 1u);
+}
+
+TEST(Network, CpuQueueSerializesArrivals) {
+  TwoNodes w(ms(1), 1e9, ms(5));
+  // Three back-to-back packets arrive ~together; service is 5 ms each.
+  w.sim.scheduleAt(0, [&]() {
+    for (int i = 0; i < 3; ++i) w.na->emit(w.b, 100);
+  });
+  w.sim.run();
+  ASSERT_EQ(w.nb->arrivals.size(), 3u);
+  const SimTime first = w.nb->arrivals[0].second;
+  EXPECT_EQ(w.nb->arrivals[1].second, first + ms(5));
+  EXPECT_EQ(w.nb->arrivals[2].second, first + ms(10));
+}
+
+TEST(Network, BacklogVisibleDuringService) {
+  TwoNodes w(ms(1), 1e9, ms(5));
+  w.sim.scheduleAt(0, [&]() {
+    for (int i = 0; i < 4; ++i) w.na->emit(w.b, 100);
+  });
+  w.sim.scheduleAt(ms(2), [&]() { EXPECT_GT(w.nb->cpuBacklog(), ms(10)); });
+  w.sim.run();
+}
+
+TEST(Network, DropBacklogBoundsTheQueue) {
+  TwoNodes w(ms(1), 1e9, ms(5));
+  w.net->mutableParams().dropBacklog = ms(12);  // room for ~2-3 packets
+  w.sim.scheduleAt(0, [&]() {
+    for (int i = 0; i < 10; ++i) w.na->emit(w.b, 100);
+  });
+  w.sim.run();
+  EXPECT_LT(w.nb->arrivals.size(), 10u);
+  EXPECT_GT(w.net->totalDrops(), 0u);
+  EXPECT_EQ(w.nb->arrivals.size() + w.net->totalDrops(), 10u);
+}
+
+TEST(Network, ExtendCpuBusyDelaysSubsequentPackets) {
+  // b burns 50 ms of CPU upon the first arrival (like a server fanning out
+  // unicast copies); the second packet must queue behind it.
+  struct Burner : SinkNode {
+    using SinkNode::SinkNode;
+    void handle(NodeId from, const PacketPtr& p) override {
+      SinkNode::handle(from, p);
+      if (arrivals.size() == 1) burnCpu(ms(50));
+    }
+  };
+  Simulator sim;
+  Topology topo;
+  const NodeId a = topo.addNode(), b = topo.addNode();
+  topo.addLink(a, b, ms(1));
+  Network net(sim, topo);
+  auto& na = net.emplaceNode<SinkNode>(a, net, ms(1));
+  auto& nb = net.emplaceNode<Burner>(b, net, ms(1));
+  sim.scheduleAt(0, [&]() { na.emit(b, 100); });
+  sim.scheduleAt(ms(2), [&]() { na.emit(b, 100); });
+  sim.run();
+  ASSERT_EQ(nb.arrivals.size(), 2u);
+  EXPECT_GE(nb.arrivals[1].second - nb.arrivals[0].second, ms(50));
+}
+
+TEST(Network, SendAfterDelaysTransmission) {
+  TwoNodes w(ms(1), 1e9, ms(0) + 1);
+  w.sim.scheduleAt(0, [&]() { w.na->emitAfter(ms(30), w.b, 100); });
+  w.sim.run();
+  ASSERT_EQ(w.nb->arrivals.size(), 1u);
+  EXPECT_GE(w.nb->arrivals[0].second, ms(31));
+}
+
+TEST(Network, LoadMeterAccumulatesPerTraversal) {
+  Simulator sim;
+  Topology topo;
+  const NodeId a = topo.addNode(), b = topo.addNode(), c = topo.addNode();
+  topo.addLink(a, b, ms(1));
+  topo.addLink(b, c, ms(1));
+  Network net(sim, topo);
+  auto& na = net.emplaceNode<SinkNode>(a, net, 1);
+  auto& nb = net.emplaceNode<SinkNode>(b, net, 1);
+  auto& nc = net.emplaceNode<SinkNode>(c, net, 1);
+  (void)nc;
+  // a->b then b->c: the same 500B packet crosses two links = 1000B of load.
+  sim.scheduleAt(0, [&]() { na.emit(b, 500); });
+  sim.scheduleAt(ms(10), [&]() { nb.emit(c, 500); });
+  sim.run();
+  EXPECT_EQ(net.totalLinkBytes(), 1000u);
+  net.resetLoadMeter();
+  EXPECT_EQ(net.totalLinkBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gcopss::test

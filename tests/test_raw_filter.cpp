@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/raw_filter.hpp"
+
+namespace gcopss::test {
+namespace {
+
+using namespace gcopss::trace;
+
+TEST(RawFilter, RecoversExactlyTheRealPlayers) {
+  RawCaptureConfig cfg;
+  cfg.realPlayers = 100;
+  cfg.probeAddresses = 500;
+  const auto raw = synthesizeRawCapture(cfg);
+  const auto filtered = filterRawCapture(raw);
+  // The paper's filtering recovers the established connections: 414 players
+  // out of 32,765 addresses there; here, 100 out of 600.
+  EXPECT_EQ(filtered.players.size(), 100u);
+}
+
+TEST(RawFilter, NoServerPacketsSurvive) {
+  RawCaptureConfig cfg;
+  cfg.realPlayers = 30;
+  cfg.probeAddresses = 50;
+  const auto raw = synthesizeRawCapture(cfg);
+  std::size_t serverPkts = 0;
+  for (const auto& p : raw.packets) serverPkts += p.fromServer;
+  ASSERT_GT(serverPkts, 0u);
+  const auto filtered = filterRawCapture(raw);
+  EXPECT_EQ(filtered.droppedServerPackets, serverPkts);
+  for (const auto& p : filtered.updates) EXPECT_FALSE(p.fromServer);
+}
+
+TEST(RawFilter, ProbeTrafficIsDroppedEntirely) {
+  RawCaptureConfig cfg;
+  cfg.realPlayers = 20;
+  cfg.probeAddresses = 200;
+  cfg.probePacketsMax = 8;
+  const auto raw = synthesizeRawCapture(cfg);
+  const auto filtered = filterRawCapture(raw);
+  const std::set<std::uint32_t> kept(filtered.players.begin(), filtered.players.end());
+  EXPECT_GT(filtered.droppedProbePackets, 0u);
+  // Probe addresses are allocated after player addresses; none survive.
+  for (std::uint32_t addr : kept) EXPECT_LE(addr, 20u);
+}
+
+TEST(RawFilter, SecondPortsMergeIntoOnePlayer) {
+  RawCaptureConfig cfg;
+  cfg.realPlayers = 200;
+  cfg.probeAddresses = 0;
+  cfg.secondPortProb = 1.0;  // every player uses two ports
+  cfg.updatesPerPlayerMean = 600;  // both ports clear the threshold
+  const auto raw = synthesizeRawCapture(cfg);
+  const auto filtered = filterRawCapture(raw);
+  EXPECT_EQ(filtered.players.size(), 200u) << "one player per address, not per port";
+  EXPECT_GT(filtered.mergedPorts, 0u);
+}
+
+TEST(RawFilter, UpdateCountsAreConserved) {
+  RawCaptureConfig cfg;
+  cfg.realPlayers = 50;
+  cfg.probeAddresses = 100;
+  const auto raw = synthesizeRawCapture(cfg);
+  const auto filtered = filterRawCapture(raw);
+  EXPECT_EQ(filtered.updates.size() + filtered.droppedProbePackets +
+                filtered.droppedServerPackets,
+            raw.packets.size());
+  // Kept packets are time-ordered.
+  for (std::size_t i = 1; i < filtered.updates.size(); ++i) {
+    EXPECT_GE(filtered.updates[i].time, filtered.updates[i - 1].time);
+  }
+}
+
+TEST(RawFilter, ThresholdIsRespected) {
+  RawCaptureConfig cfg;
+  cfg.realPlayers = 40;
+  cfg.probeAddresses = 100;
+  const auto raw = synthesizeRawCapture(cfg);
+  const auto filtered = filterRawCapture(raw, /*minPackets=*/100);
+  // Count per surviving address:port: all >= 100.
+  std::map<std::pair<std::uint32_t, std::uint16_t>, std::size_t> counts;
+  for (const auto& p : filtered.updates) ++counts[{p.address, p.port}];
+  for (const auto& [pair, n] : counts) {
+    (void)pair;
+    EXPECT_GE(n, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace gcopss::test

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "des/simulator.hpp"
+
+namespace gcopss::test {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(ms(30), [&]() { order.push_back(3); });
+  sim.scheduleAt(ms(10), [&]() { order.push_back(1); });
+  sim.scheduleAt(ms(20), [&]() { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ms(30));
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.scheduleAt(ms(5), [&, i]() { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMore) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&]() {
+    ++ticks;
+    if (ticks < 10) sim.schedule(ms(1), tick);
+  };
+  sim.schedule(0, tick);
+  sim.run();
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(sim.now(), ms(9));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.scheduleAt(ms(10), [&]() { ++ran; });
+  sim.scheduleAt(ms(20), [&]() { ++ran; });
+  sim.run(ms(15));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, StopHaltsImmediately) {
+  Simulator sim;
+  int ran = 0;
+  sim.scheduleAt(ms(1), [&]() {
+    ++ran;
+    sim.stop();
+  });
+  sim.scheduleAt(ms(2), [&]() { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  sim.run();  // resumes after stop
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 42; ++i) sim.scheduleAt(i, []() {});
+  sim.run();
+  EXPECT_EQ(sim.totalEventsExecuted(), 42u);
+}
+
+}  // namespace
+}  // namespace gcopss::test

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "net/topo_factory.hpp"
+#include "net/vivaldi.hpp"
+
+namespace gcopss::test {
+namespace {
+
+TEST(Vivaldi, ConvergesOnALine) {
+  // Three nodes on a line: a -10ms- b -10ms- c. After enough observations
+  // the embedding must place b between a and c (predict(a,c) ~ 20ms).
+  Topology topo;
+  const NodeId a = topo.addNode(), b = topo.addNode(), c = topo.addNode();
+  topo.addLink(a, b, ms(10));
+  topo.addLink(b, c, ms(10));
+  Rng rng(1);
+  const auto vs = embedTopology(topo, {a, b, c}, rng, /*rounds=*/200);
+  EXPECT_NEAR(vs.predict(0, 1), 10.0, 3.0);
+  EXPECT_NEAR(vs.predict(1, 2), 10.0, 3.0);
+  EXPECT_NEAR(vs.predict(0, 2), 20.0, 6.0);
+}
+
+TEST(Vivaldi, PredictionIsSymmetricAndNonNegative) {
+  Topology topo;
+  Rng rng(2);
+  const auto rf = makeRocketfuelLike(topo, rng, 20, 1);
+  const auto vs = embedTopology(topo, rf.core, rng, 60);
+  for (std::size_t i = 0; i < rf.core.size(); i += 3) {
+    for (std::size_t j = i + 1; j < rf.core.size(); j += 5) {
+      EXPECT_DOUBLE_EQ(vs.predict(i, j), vs.predict(j, i));
+      EXPECT_GE(vs.predict(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Vivaldi, ErrorEstimatesShrinkWithObservations) {
+  Topology topo;
+  Rng rng(3);
+  const auto rf = makeRocketfuelLike(topo, rng, 20, 1);
+  const auto early = embedTopology(topo, rf.core, rng, 2);
+  Rng rng2(3);
+  const auto late = embedTopology(topo, rf.core, rng2, 100);
+  double earlySum = 0, lateSum = 0;
+  for (std::size_t i = 0; i < rf.core.size(); ++i) {
+    earlySum += early.errorEstimate(i);
+    lateSum += late.errorEstimate(i);
+  }
+  EXPECT_LT(lateSum, earlySum);
+}
+
+TEST(Vivaldi, EmbeddingTracksTrueDistancesOnBackbone) {
+  Topology topo;
+  Rng rng(4);
+  const auto rf = makeRocketfuelLike(topo, rng, 40, 1);
+  const auto vs = embedTopology(topo, rf.core, rng, 120);
+  // Median relative error under 50% — coarse, but enough to rank by.
+  std::vector<double> relErr;
+  for (std::size_t i = 0; i < rf.core.size(); i += 2) {
+    for (std::size_t j = i + 1; j < rf.core.size(); j += 3) {
+      const double actual = toMs(topo.pathDelay(rf.core[i], rf.core[j]));
+      relErr.push_back(std::abs(vs.predict(i, j) - actual) / actual);
+    }
+  }
+  std::sort(relErr.begin(), relErr.end());
+  EXPECT_LT(relErr[relErr.size() / 2], 0.5);
+}
+
+TEST(Vivaldi, CentralSelectionApproximatesExactCentrality) {
+  Topology topo;
+  Rng rng(5);
+  const auto rf = makeRocketfuelLike(topo, rng);
+  // Exact closeness ranking of cores w.r.t. edges.
+  std::vector<std::pair<SimTime, NodeId>> exact;
+  for (NodeId c : rf.core) {
+    SimTime total = 0;
+    for (NodeId e : rf.edge) total += topo.pathDelay(c, e);
+    exact.emplace_back(total, c);
+  }
+  std::sort(exact.begin(), exact.end());
+  std::set<NodeId> exactTop;
+  for (std::size_t i = 0; i < 20; ++i) exactTop.insert(exact[i].second);
+
+  Rng rng2(6);
+  const auto picked = vivaldiCentral(topo, rf.core, rf.edge, rng2, 6);
+  ASSERT_EQ(picked.size(), 6u);
+  // The coordinate-based picks land mostly inside the exact top quartile.
+  std::size_t inTop = 0;
+  for (NodeId p : picked) inTop += exactTop.count(p);
+  EXPECT_GE(inTop, 4u) << "Vivaldi selection strayed too far from true centrality";
+}
+
+}  // namespace
+}  // namespace gcopss::test

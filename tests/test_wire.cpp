@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "wire/codec.hpp"
+
+#include "copss/packets.hpp"
+#include "gcopss/game_packets.hpp"
+#include "ipserver/ipserver.hpp"
+#include "ndn/packets.hpp"
+#include "ndngame/ndngame.hpp"
+
+namespace gcopss::test {
+namespace {
+
+using namespace gcopss::wire;
+
+template <typename T>
+std::shared_ptr<const T> roundTrip(const PacketPtr& in) {
+  const auto bytes = encode(in);
+  const PacketPtr out = decode(bytes);
+  const auto typed = std::dynamic_pointer_cast<const T>(out);
+  EXPECT_NE(typed, nullptr) << "decoded type mismatch";
+  return typed;
+}
+
+TEST(Wire, InterestRoundTripsWithEncapsulation) {
+  auto inner = makePacket<copss::MulticastPacket>(
+      std::vector<Name>{Name::parse("/1/2")}, 123, ms(7), 42, 9);
+  auto in = makePacket<ndn::InterestPacket>(Name::parse("/1/2"), 777, 200, inner);
+  const auto out = roundTrip<ndn::InterestPacket>(in);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->name, Name::parse("/1/2"));
+  EXPECT_EQ(out->nonce, 777u);
+  EXPECT_EQ(out->size, 200u);
+  ASSERT_TRUE(out->encapsulated);
+  const auto& m = packet_cast<copss::MulticastPacket>(out->encapsulated);
+  EXPECT_EQ(m.seq, 42u);
+  EXPECT_EQ(m.payloadSize, 123u);
+  // Derived prefix hashes are recomputed identically on decode.
+  const auto& orig = packet_cast<copss::MulticastPacket>(PacketPtr(inner));
+  EXPECT_EQ(m.prefixHashes, orig.prefixHashes);
+}
+
+TEST(Wire, PlainInterestWithoutPayload) {
+  auto in = makePacket<ndn::InterestPacket>(Name::parse("/snapshot/1/2/o/3"), 5);
+  const auto out = roundTrip<ndn::InterestPacket>(in);
+  ASSERT_TRUE(out);
+  EXPECT_FALSE(out->encapsulated);
+  EXPECT_EQ(out->name.size(), 5u);
+}
+
+TEST(Wire, DataRoundTrips) {
+  auto in = makePacket<ndn::DataPacket>(Name::parse("/d"), 512, seconds(3), 17);
+  const auto out = roundTrip<ndn::DataPacket>(in);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->payloadSize, 512u);
+  EXPECT_EQ(out->createdAt, seconds(3));
+  EXPECT_EQ(out->seq, 17u);
+  EXPECT_EQ(out->size, in->size);
+}
+
+TEST(Wire, SubscribeScopedAndUnscoped) {
+  const auto plain = roundTrip<copss::SubscribePacket>(
+      makePacket<copss::SubscribePacket>(Name::parse("/1")));
+  ASSERT_TRUE(plain);
+  EXPECT_FALSE(plain->scoped);
+
+  const auto scoped = roundTrip<copss::SubscribePacket>(
+      makePacket<copss::SubscribePacket>(Name::parse("/1"), Name::parse("/1/2")));
+  ASSERT_TRUE(scoped);
+  EXPECT_TRUE(scoped->scoped);
+  EXPECT_EQ(scoped->scope, Name::parse("/1/2"));
+
+  const auto unsub = roundTrip<copss::UnsubscribePacket>(
+      makePacket<copss::UnsubscribePacket>(Name::parse("/x"), Name::parse("/x/y")));
+  ASSERT_TRUE(unsub);
+  EXPECT_TRUE(unsub->scoped);
+}
+
+TEST(Wire, GameUpdateAndSnapshotSubtypesPreserved) {
+  const auto upd = roundTrip<gc::GameUpdatePacket>(
+      makePacket<gc::GameUpdatePacket>(Name::parse("/1/1"), 99, ms(1), 5, 3, 1234));
+  ASSERT_TRUE(upd);
+  EXPECT_EQ(upd->objectId, 1234u);
+
+  const auto snap = roundTrip<gc::SnapshotObjectPacket>(makePacket<gc::SnapshotObjectPacket>(
+      Name::parse("/snap/1/1"), 400, ms(2), 6, 4, 77, 106));
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->objectId, 77u);
+  EXPECT_EQ(snap->cycleLength, 106u);
+}
+
+TEST(Wire, ControlPacketsRoundTrip) {
+  const std::vector<Name> cds{Name::parse("/1/1"), Name::parse("/2/_")};
+  const auto fib = roundTrip<copss::FibAddPacket>(
+      makePacket<copss::FibAddPacket>(cds, 12, 900));
+  ASSERT_TRUE(fib);
+  EXPECT_EQ(fib->prefixes, cds);
+  EXPECT_EQ(fib->origin, 12);
+  EXPECT_EQ(fib->txnId, 900u);
+
+  const auto handoff = roundTrip<copss::RpHandoffPacket>(
+      makePacket<copss::RpHandoffPacket>(cds, 3, 4, 901));
+  ASSERT_TRUE(handoff);
+  EXPECT_EQ(handoff->oldRp, 3);
+  EXPECT_EQ(handoff->newRp, 4);
+
+  EXPECT_TRUE(roundTrip<copss::StJoinPacket>(makePacket<copss::StJoinPacket>(cds, 1)));
+  EXPECT_TRUE(roundTrip<copss::StConfirmPacket>(makePacket<copss::StConfirmPacket>(cds, 2)));
+  EXPECT_TRUE(roundTrip<copss::StLeavePacket>(makePacket<copss::StLeavePacket>(cds, 3)));
+  EXPECT_TRUE(roundTrip<copss::FibRemovePacket>(makePacket<copss::FibRemovePacket>(cds, 5, 4)));
+}
+
+TEST(Wire, IpUnicastRoundTrips) {
+  const auto out = roundTrip<ipserver::IpUnicastPacket>(makePacket<ipserver::IpUnicastPacket>(
+      10, 20, Name::parse("/3/4"), 250, seconds(1), 333));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->src, 10);
+  EXPECT_EQ(out->dst, 20);
+  EXPECT_EQ(out->payloadSize, 250u);
+}
+
+TEST(Wire, UpdateSegmentRoundTrips) {
+  std::vector<ndngame::UpdateEntry> entries{
+      {1, ms(10), Name::parse("/1/1"), 60},
+      {2, ms(20), Name::parse("/_"), 90},
+  };
+  const auto out = roundTrip<ndngame::UpdateSegment>(makePacket<ndngame::UpdateSegment>(
+      Name::parse("/player/3/u/7"), 166, ms(25), 7, entries));
+  ASSERT_TRUE(out);
+  ASSERT_EQ(out->updates.size(), 2u);
+  EXPECT_EQ(out->updates[1].cd, Name::parse("/_"));
+  EXPECT_EQ(out->updates[1].publishedAt, ms(20));
+}
+
+// ---------------- robustness ----------------
+
+TEST(Wire, RejectsBadMagicVersionAndTruncation) {
+  auto good = encode(*makePacket<copss::SubscribePacket>(Name::parse("/1")));
+  {
+    auto bad = good;
+    bad[0] ^= 0xff;
+    EXPECT_THROW(decode(bad), WireError);
+  }
+  {
+    auto bad = good;
+    bad[2] = 99;  // version
+    EXPECT_THROW(decode(bad), WireError);
+  }
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(good.begin(),
+                                        good.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode(truncated), WireError) << "cut at " << cut;
+  }
+  {
+    auto trailing = good;
+    trailing.push_back(0);
+    EXPECT_THROW(decode(trailing), WireError);
+  }
+}
+
+TEST(Wire, RandomBytesNeverCrash) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(static_cast<std::size_t>(rng.uniformInt(0, 64)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    try {
+      (void)decode(junk);
+    } catch (const WireError&) {
+      // expected for almost every input
+    }
+  }
+  SUCCEED();
+}
+
+// Property sweep: encode/decode/encode is a fixed point for fuzzed packets.
+class WireFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzRoundTrip, EncodeDecodeEncodeIsStable) {
+  Rng rng(GetParam());
+  auto randomName = [&rng]() {
+    std::vector<std::string> comps;
+    const auto depth = rng.uniformInt(0, 4);
+    for (int i = 0; i < depth; ++i) {
+      comps.push_back(std::to_string(rng.uniformInt(0, 99)));
+    }
+    return Name(std::move(comps));
+  };
+  for (int i = 0; i < 50; ++i) {
+    PacketPtr p;
+    switch (rng.uniformInt(0, 3)) {
+      case 0:
+        p = makePacket<copss::MulticastPacket>(
+            std::vector<Name>{randomName(), randomName()},
+            static_cast<Bytes>(rng.uniformInt(0, 4096)), rng.uniformInt(0, kSecond),
+            rng.next(), static_cast<NodeId>(rng.uniformInt(0, 1000)));
+        break;
+      case 1:
+        p = makePacket<ndn::InterestPacket>(randomName(), rng.next());
+        break;
+      case 2:
+        p = makePacket<ndn::DataPacket>(randomName(),
+                                        static_cast<Bytes>(rng.uniformInt(0, 9999)),
+                                        rng.uniformInt(0, kSecond), rng.next());
+        break;
+      default:
+        p = makePacket<copss::StJoinPacket>(std::vector<Name>{randomName()}, rng.next());
+        break;
+    }
+    const auto once = encode(p);
+    const auto twice = encode(decode(once));
+    EXPECT_EQ(once, twice);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gcopss::test
+namespace gcopss::test {
+namespace {
+
+TEST(Wire, AnnounceRoundTrips) {
+  const auto out = std::dynamic_pointer_cast<const copss::AnnouncePacket>(
+      wire::decode(wire::encode(*makePacket<copss::AnnouncePacket>(
+          Name::parse("/1/2"), Name::parse("/pub/5/9"), 4096, ms(3), 9, 5))));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->contentName, Name::parse("/pub/5/9"));
+  EXPECT_EQ(out->fullSize, 4096u);
+  EXPECT_EQ(out->payloadSize, copss::kSnippetBytes);
+}
+
+}  // namespace
+}  // namespace gcopss::test
