@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rp_count.dir/bench_table1_rp_count.cpp.o"
+  "CMakeFiles/bench_table1_rp_count.dir/bench_table1_rp_count.cpp.o.d"
+  "bench_table1_rp_count"
+  "bench_table1_rp_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rp_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hybrid.dir/bench_table2_hybrid.cpp.o"
+  "CMakeFiles/bench_table2_hybrid.dir/bench_table2_hybrid.cpp.o.d"
+  "bench_table2_hybrid"
+  "bench_table2_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

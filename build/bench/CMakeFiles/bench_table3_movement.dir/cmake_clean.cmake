@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_movement.dir/bench_table3_movement.cpp.o"
+  "CMakeFiles/bench_table3_movement.dir/bench_table3_movement.cpp.o.d"
+  "bench_table3_movement"
+  "bench_table3_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

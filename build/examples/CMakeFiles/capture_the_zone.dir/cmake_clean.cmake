@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_the_zone.dir/capture_the_zone.cpp.o"
+  "CMakeFiles/capture_the_zone.dir/capture_the_zone.cpp.o.d"
+  "capture_the_zone"
+  "capture_the_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_the_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterstrike_sim.dir/counterstrike_sim.cpp.o"
+  "CMakeFiles/counterstrike_sim.dir/counterstrike_sim.cpp.o.d"
+  "counterstrike_sim"
+  "counterstrike_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterstrike_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

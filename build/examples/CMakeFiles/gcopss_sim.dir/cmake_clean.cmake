@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_sim.dir/gcopss_sim.cpp.o"
+  "CMakeFiles/gcopss_sim.dir/gcopss_sim.cpp.o.d"
+  "gcopss_sim"
+  "gcopss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

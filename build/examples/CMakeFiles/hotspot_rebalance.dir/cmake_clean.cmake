@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_rebalance.dir/hotspot_rebalance.cpp.o"
+  "CMakeFiles/hotspot_rebalance.dir/hotspot_rebalance.cpp.o.d"
+  "hotspot_rebalance"
+  "hotspot_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_players.dir/moving_players.cpp.o"
+  "CMakeFiles/moving_players.dir/moving_players.cpp.o.d"
+  "moving_players"
+  "moving_players.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_players.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

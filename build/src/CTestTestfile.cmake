@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("des")
+subdirs("net")
+subdirs("ndn")
+subdirs("copss")
+subdirs("game")
+subdirs("trace")
+subdirs("metrics")
+subdirs("wire")
+subdirs("ipserver")
+subdirs("ndngame")
+subdirs("gcopss")

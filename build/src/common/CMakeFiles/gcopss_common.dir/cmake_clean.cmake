@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_common.dir/bloom.cpp.o"
+  "CMakeFiles/gcopss_common.dir/bloom.cpp.o.d"
+  "CMakeFiles/gcopss_common.dir/name.cpp.o"
+  "CMakeFiles/gcopss_common.dir/name.cpp.o.d"
+  "CMakeFiles/gcopss_common.dir/stats.cpp.o"
+  "CMakeFiles/gcopss_common.dir/stats.cpp.o.d"
+  "libgcopss_common.a"
+  "libgcopss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

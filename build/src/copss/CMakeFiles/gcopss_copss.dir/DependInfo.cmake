@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/copss/balancer.cpp" "src/copss/CMakeFiles/gcopss_copss.dir/balancer.cpp.o" "gcc" "src/copss/CMakeFiles/gcopss_copss.dir/balancer.cpp.o.d"
+  "/root/repo/src/copss/deploy.cpp" "src/copss/CMakeFiles/gcopss_copss.dir/deploy.cpp.o" "gcc" "src/copss/CMakeFiles/gcopss_copss.dir/deploy.cpp.o.d"
+  "/root/repo/src/copss/hybrid.cpp" "src/copss/CMakeFiles/gcopss_copss.dir/hybrid.cpp.o" "gcc" "src/copss/CMakeFiles/gcopss_copss.dir/hybrid.cpp.o.d"
+  "/root/repo/src/copss/router.cpp" "src/copss/CMakeFiles/gcopss_copss.dir/router.cpp.o" "gcc" "src/copss/CMakeFiles/gcopss_copss.dir/router.cpp.o.d"
+  "/root/repo/src/copss/st.cpp" "src/copss/CMakeFiles/gcopss_copss.dir/st.cpp.o" "gcc" "src/copss/CMakeFiles/gcopss_copss.dir/st.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndn/CMakeFiles/gcopss_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gcopss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gcopss_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

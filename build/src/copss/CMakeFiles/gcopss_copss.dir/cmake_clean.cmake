@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_copss.dir/balancer.cpp.o"
+  "CMakeFiles/gcopss_copss.dir/balancer.cpp.o.d"
+  "CMakeFiles/gcopss_copss.dir/deploy.cpp.o"
+  "CMakeFiles/gcopss_copss.dir/deploy.cpp.o.d"
+  "CMakeFiles/gcopss_copss.dir/hybrid.cpp.o"
+  "CMakeFiles/gcopss_copss.dir/hybrid.cpp.o.d"
+  "CMakeFiles/gcopss_copss.dir/router.cpp.o"
+  "CMakeFiles/gcopss_copss.dir/router.cpp.o.d"
+  "CMakeFiles/gcopss_copss.dir/st.cpp.o"
+  "CMakeFiles/gcopss_copss.dir/st.cpp.o.d"
+  "libgcopss_copss.a"
+  "libgcopss_copss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_copss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gcopss_copss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_des.dir/simulator.cpp.o"
+  "CMakeFiles/gcopss_des.dir/simulator.cpp.o.d"
+  "libgcopss_des.a"
+  "libgcopss_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

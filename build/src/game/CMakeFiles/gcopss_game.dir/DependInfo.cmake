@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/map.cpp" "src/game/CMakeFiles/gcopss_game.dir/map.cpp.o" "gcc" "src/game/CMakeFiles/gcopss_game.dir/map.cpp.o.d"
+  "/root/repo/src/game/movement.cpp" "src/game/CMakeFiles/gcopss_game.dir/movement.cpp.o" "gcc" "src/game/CMakeFiles/gcopss_game.dir/movement.cpp.o.d"
+  "/root/repo/src/game/objects.cpp" "src/game/CMakeFiles/gcopss_game.dir/objects.cpp.o" "gcc" "src/game/CMakeFiles/gcopss_game.dir/objects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_game.dir/map.cpp.o"
+  "CMakeFiles/gcopss_game.dir/map.cpp.o.d"
+  "CMakeFiles/gcopss_game.dir/movement.cpp.o"
+  "CMakeFiles/gcopss_game.dir/movement.cpp.o.d"
+  "CMakeFiles/gcopss_game.dir/objects.cpp.o"
+  "CMakeFiles/gcopss_game.dir/objects.cpp.o.d"
+  "libgcopss_game.a"
+  "libgcopss_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

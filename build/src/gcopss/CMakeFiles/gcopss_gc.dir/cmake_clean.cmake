@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_gc.dir/broker.cpp.o"
+  "CMakeFiles/gcopss_gc.dir/broker.cpp.o.d"
+  "CMakeFiles/gcopss_gc.dir/client.cpp.o"
+  "CMakeFiles/gcopss_gc.dir/client.cpp.o.d"
+  "CMakeFiles/gcopss_gc.dir/experiment.cpp.o"
+  "CMakeFiles/gcopss_gc.dir/experiment.cpp.o.d"
+  "CMakeFiles/gcopss_gc.dir/movement_experiment.cpp.o"
+  "CMakeFiles/gcopss_gc.dir/movement_experiment.cpp.o.d"
+  "libgcopss_gc.a"
+  "libgcopss_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipserver/ipserver.cpp" "src/ipserver/CMakeFiles/gcopss_ipserver.dir/ipserver.cpp.o" "gcc" "src/ipserver/CMakeFiles/gcopss_ipserver.dir/ipserver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gcopss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gcopss_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

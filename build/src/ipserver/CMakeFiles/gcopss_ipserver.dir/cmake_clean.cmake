@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_ipserver.dir/ipserver.cpp.o"
+  "CMakeFiles/gcopss_ipserver.dir/ipserver.cpp.o.d"
+  "libgcopss_ipserver.a"
+  "libgcopss_ipserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_ipserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

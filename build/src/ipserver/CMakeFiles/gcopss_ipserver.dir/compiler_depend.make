@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gcopss_ipserver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_metrics.dir/latency.cpp.o"
+  "CMakeFiles/gcopss_metrics.dir/latency.cpp.o.d"
+  "CMakeFiles/gcopss_metrics.dir/report.cpp.o"
+  "CMakeFiles/gcopss_metrics.dir/report.cpp.o.d"
+  "libgcopss_metrics.a"
+  "libgcopss_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

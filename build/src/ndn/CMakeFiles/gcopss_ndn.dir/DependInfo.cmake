@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndn/content_store.cpp" "src/ndn/CMakeFiles/gcopss_ndn.dir/content_store.cpp.o" "gcc" "src/ndn/CMakeFiles/gcopss_ndn.dir/content_store.cpp.o.d"
+  "/root/repo/src/ndn/fib.cpp" "src/ndn/CMakeFiles/gcopss_ndn.dir/fib.cpp.o" "gcc" "src/ndn/CMakeFiles/gcopss_ndn.dir/fib.cpp.o.d"
+  "/root/repo/src/ndn/forwarder.cpp" "src/ndn/CMakeFiles/gcopss_ndn.dir/forwarder.cpp.o" "gcc" "src/ndn/CMakeFiles/gcopss_ndn.dir/forwarder.cpp.o.d"
+  "/root/repo/src/ndn/pit.cpp" "src/ndn/CMakeFiles/gcopss_ndn.dir/pit.cpp.o" "gcc" "src/ndn/CMakeFiles/gcopss_ndn.dir/pit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gcopss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gcopss_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

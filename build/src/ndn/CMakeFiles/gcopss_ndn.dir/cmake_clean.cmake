@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_ndn.dir/content_store.cpp.o"
+  "CMakeFiles/gcopss_ndn.dir/content_store.cpp.o.d"
+  "CMakeFiles/gcopss_ndn.dir/fib.cpp.o"
+  "CMakeFiles/gcopss_ndn.dir/fib.cpp.o.d"
+  "CMakeFiles/gcopss_ndn.dir/forwarder.cpp.o"
+  "CMakeFiles/gcopss_ndn.dir/forwarder.cpp.o.d"
+  "CMakeFiles/gcopss_ndn.dir/pit.cpp.o"
+  "CMakeFiles/gcopss_ndn.dir/pit.cpp.o.d"
+  "libgcopss_ndn.a"
+  "libgcopss_ndn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_ndn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_ndngame.dir/ndngame.cpp.o"
+  "CMakeFiles/gcopss_ndngame.dir/ndngame.cpp.o.d"
+  "libgcopss_ndngame.a"
+  "libgcopss_ndngame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_ndngame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

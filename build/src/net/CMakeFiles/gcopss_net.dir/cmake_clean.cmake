@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_net.dir/network.cpp.o"
+  "CMakeFiles/gcopss_net.dir/network.cpp.o.d"
+  "CMakeFiles/gcopss_net.dir/topo_factory.cpp.o"
+  "CMakeFiles/gcopss_net.dir/topo_factory.cpp.o.d"
+  "CMakeFiles/gcopss_net.dir/topology.cpp.o"
+  "CMakeFiles/gcopss_net.dir/topology.cpp.o.d"
+  "CMakeFiles/gcopss_net.dir/vivaldi.cpp.o"
+  "CMakeFiles/gcopss_net.dir/vivaldi.cpp.o.d"
+  "libgcopss_net.a"
+  "libgcopss_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

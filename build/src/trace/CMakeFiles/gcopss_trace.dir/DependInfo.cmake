@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/raw_filter.cpp" "src/trace/CMakeFiles/gcopss_trace.dir/raw_filter.cpp.o" "gcc" "src/trace/CMakeFiles/gcopss_trace.dir/raw_filter.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/gcopss_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/gcopss_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/gcopss_game.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_trace.dir/raw_filter.cpp.o"
+  "CMakeFiles/gcopss_trace.dir/raw_filter.cpp.o.d"
+  "CMakeFiles/gcopss_trace.dir/trace.cpp.o"
+  "CMakeFiles/gcopss_trace.dir/trace.cpp.o.d"
+  "libgcopss_trace.a"
+  "libgcopss_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

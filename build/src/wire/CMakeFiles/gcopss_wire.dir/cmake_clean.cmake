@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_wire.dir/codec.cpp.o"
+  "CMakeFiles/gcopss_wire.dir/codec.cpp.o.d"
+  "libgcopss_wire.a"
+  "libgcopss_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcopss_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

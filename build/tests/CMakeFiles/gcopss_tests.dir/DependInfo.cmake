@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bloom.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_bloom.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_bloom.cpp.o.d"
+  "/root/repo/tests/test_broker.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_broker.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_broker.cpp.o.d"
+  "/root/repo/tests/test_copss_router.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_copss_router.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_copss_router.cpp.o.d"
+  "/root/repo/tests/test_deploy_balancer.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_deploy_balancer.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_deploy_balancer.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failure.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_failure.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_failure.cpp.o.d"
+  "/root/repo/tests/test_game.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_game.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_game.cpp.o.d"
+  "/root/repo/tests/test_hybrid.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_name.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_name.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_name.cpp.o.d"
+  "/root/repo/tests/test_ndn.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_ndn.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_ndn.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_raw_filter.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_raw_filter.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_raw_filter.cpp.o.d"
+  "/root/repo/tests/test_retire.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_retire.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_retire.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_st.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_st.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_st.cpp.o.d"
+  "/root/repo/tests/test_stats_rng.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_stats_rng.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_stats_rng.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_twostep.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_twostep.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_twostep.cpp.o.d"
+  "/root/repo/tests/test_vivaldi.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_vivaldi.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_vivaldi.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcopss/CMakeFiles/gcopss_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/copss/CMakeFiles/gcopss_copss.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/gcopss_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gcopss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/gcopss_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gcopss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gcopss_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipserver/CMakeFiles/gcopss_ipserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndngame/CMakeFiles/gcopss_ndngame.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gcopss_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gcopss_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
