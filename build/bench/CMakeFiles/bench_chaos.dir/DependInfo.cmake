@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_chaos.cpp" "bench/CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o" "gcc" "bench/CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcopss/CMakeFiles/gcopss_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/copss/CMakeFiles/gcopss_copss.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/gcopss_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gcopss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/gcopss_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gcopss_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gcopss_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipserver/CMakeFiles/gcopss_ipserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndngame/CMakeFiles/gcopss_ndngame.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gcopss_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

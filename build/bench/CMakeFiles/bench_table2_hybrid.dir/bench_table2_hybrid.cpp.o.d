@@ -272,5 +272,6 @@ bench/CMakeFiles/bench_table2_hybrid.dir/bench_table2_hybrid.cpp.o: \
  /root/repo/src/ndn/packets.hpp /root/repo/src/ndn/fib.hpp \
  /root/repo/src/ndn/pit.hpp /root/repo/src/net/network.hpp \
  /root/repo/src/des/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/topology.hpp \
- /root/repo/src/gcopss/client.hpp /root/repo/src/gcopss/game_packets.hpp
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/fault.hpp \
+ /root/repo/src/net/topology.hpp /root/repo/src/gcopss/client.hpp \
+ /root/repo/src/gcopss/game_packets.hpp

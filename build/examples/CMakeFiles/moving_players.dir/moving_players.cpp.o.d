@@ -253,9 +253,10 @@ examples/CMakeFiles/moving_players.dir/moving_players.cpp.o: \
  /root/repo/src/ndn/packets.hpp /root/repo/src/ndn/fib.hpp \
  /root/repo/src/ndn/pit.hpp /root/repo/src/net/network.hpp \
  /root/repo/src/des/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/params.hpp \
- /root/repo/src/net/topology.hpp /root/repo/src/game/objects.hpp \
- /root/repo/src/gcopss/client.hpp /root/repo/src/gcopss/game_packets.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/fault.hpp \
+ /root/repo/src/net/params.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/game/objects.hpp /root/repo/src/gcopss/client.hpp \
+ /root/repo/src/gcopss/game_packets.hpp \
  /root/repo/src/gcopss/experiment.hpp /root/repo/src/metrics/latency.hpp \
  /root/repo/src/common/stats.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/trace/trace.hpp

@@ -250,8 +250,9 @@ src/gcopss/CMakeFiles/gcopss_gc.dir/experiment.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /root/repo/src/des/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/topology.hpp /root/repo/src/copss/hybrid.hpp \
- /root/repo/src/copss/router.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/copss/hybrid.hpp /root/repo/src/copss/router.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/copss/packets.hpp /root/repo/src/ndn/forwarder.hpp \
  /root/repo/src/ndn/content_store.hpp /usr/include/c++/12/list \

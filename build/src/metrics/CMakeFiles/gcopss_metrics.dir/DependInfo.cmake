@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/fault_report.cpp" "src/metrics/CMakeFiles/gcopss_metrics.dir/fault_report.cpp.o" "gcc" "src/metrics/CMakeFiles/gcopss_metrics.dir/fault_report.cpp.o.d"
   "/root/repo/src/metrics/latency.cpp" "src/metrics/CMakeFiles/gcopss_metrics.dir/latency.cpp.o" "gcc" "src/metrics/CMakeFiles/gcopss_metrics.dir/latency.cpp.o.d"
   "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/gcopss_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/gcopss_metrics.dir/report.cpp.o.d"
   )
@@ -15,6 +16,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/gcopss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gcopss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gcopss_des.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_metrics.dir/fault_report.cpp.o"
+  "CMakeFiles/gcopss_metrics.dir/fault_report.cpp.o.d"
   "CMakeFiles/gcopss_metrics.dir/latency.cpp.o"
   "CMakeFiles/gcopss_metrics.dir/latency.cpp.o.d"
   "CMakeFiles/gcopss_metrics.dir/report.cpp.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fault.cpp" "src/net/CMakeFiles/gcopss_net.dir/fault.cpp.o" "gcc" "src/net/CMakeFiles/gcopss_net.dir/fault.cpp.o.d"
   "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/gcopss_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/gcopss_net.dir/network.cpp.o.d"
   "/root/repo/src/net/topo_factory.cpp" "src/net/CMakeFiles/gcopss_net.dir/topo_factory.cpp.o" "gcc" "src/net/CMakeFiles/gcopss_net.dir/topo_factory.cpp.o.d"
   "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/gcopss_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/gcopss_net.dir/topology.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/gcopss_net.dir/fault.cpp.o"
+  "CMakeFiles/gcopss_net.dir/fault.cpp.o.d"
   "CMakeFiles/gcopss_net.dir/network.cpp.o"
   "CMakeFiles/gcopss_net.dir/network.cpp.o.d"
   "CMakeFiles/gcopss_net.dir/topo_factory.cpp.o"

@@ -11,8 +11,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_baselines.cpp.o.d"
   "/root/repo/tests/test_bloom.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_bloom.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_bloom.cpp.o.d"
   "/root/repo/tests/test_broker.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_broker.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_broker.cpp.o.d"
+  "/root/repo/tests/test_chaos.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_chaos.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_chaos.cpp.o.d"
   "/root/repo/tests/test_copss_router.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_copss_router.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_copss_router.cpp.o.d"
   "/root/repo/tests/test_deploy_balancer.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_deploy_balancer.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_deploy_balancer.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_determinism.cpp.o.d"
   "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_experiment.cpp.o.d"
   "/root/repo/tests/test_failure.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_failure.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_failure.cpp.o.d"
   "/root/repo/tests/test_game.cpp" "tests/CMakeFiles/gcopss_tests.dir/test_game.cpp.o" "gcc" "tests/CMakeFiles/gcopss_tests.dir/test_game.cpp.o.d"

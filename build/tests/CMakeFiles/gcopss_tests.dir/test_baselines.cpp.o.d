@@ -298,17 +298,9 @@ tests/CMakeFiles/gcopss_tests.dir/test_baselines.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/common/units.hpp /root/repo/src/ipserver/ipserver.hpp \
  /root/repo/src/common/name.hpp /root/repo/src/common/hash.hpp \
- /root/repo/src/net/network.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/net/params.hpp /root/repo/src/net/topology.hpp \
- /root/repo/src/ndngame/ndngame.hpp /root/repo/src/ndn/forwarder.hpp \
- /root/repo/src/ndn/content_store.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/ndn/packets.hpp /root/repo/src/ndn/fib.hpp \
- /root/repo/src/ndn/pit.hpp /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/net/topo_factory.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/net/network.hpp /root/repo/src/net/fault.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -328,4 +320,12 @@ tests/CMakeFiles/gcopss_tests.dir/test_baselines.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/net/packet.hpp \
+ /root/repo/src/net/params.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/ndngame/ndngame.hpp /root/repo/src/ndn/forwarder.hpp \
+ /root/repo/src/ndn/content_store.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/ndn/packets.hpp /root/repo/src/ndn/fib.hpp \
+ /root/repo/src/ndn/pit.hpp /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/net/topo_factory.hpp

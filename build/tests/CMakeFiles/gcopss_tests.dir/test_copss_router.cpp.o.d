@@ -299,19 +299,7 @@ tests/CMakeFiles/gcopss_tests.dir/test_copss_router.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/units.hpp \
- /root/repo/src/net/packet.hpp /root/repo/src/net/params.hpp \
- /root/repo/src/net/topology.hpp /root/repo/src/copss/router.hpp \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/copss/balancer.hpp /root/repo/src/copss/packets.hpp \
- /root/repo/src/copss/st.hpp /root/repo/src/common/bloom.hpp \
- /root/repo/src/ndn/forwarder.hpp /root/repo/src/ndn/content_store.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/ndn/packets.hpp \
- /root/repo/src/ndn/fib.hpp /root/repo/src/ndn/pit.hpp \
- /root/repo/src/game/map.hpp /root/repo/src/gcopss/client.hpp \
- /root/repo/src/game/objects.hpp /root/repo/src/gcopss/game_packets.hpp \
- /root/repo/src/net/topo_factory.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/net/fault.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -333,4 +321,16 @@ tests/CMakeFiles/gcopss_tests.dir/test_copss_router.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/net/packet.hpp \
+ /root/repo/src/net/params.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/copss/router.hpp /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/copss/balancer.hpp /root/repo/src/copss/packets.hpp \
+ /root/repo/src/copss/st.hpp /root/repo/src/common/bloom.hpp \
+ /root/repo/src/ndn/forwarder.hpp /root/repo/src/ndn/content_store.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/ndn/packets.hpp \
+ /root/repo/src/ndn/fib.hpp /root/repo/src/ndn/pit.hpp \
+ /root/repo/src/game/map.hpp /root/repo/src/gcopss/client.hpp \
+ /root/repo/src/game/objects.hpp /root/repo/src/gcopss/game_packets.hpp \
+ /root/repo/src/net/topo_factory.hpp

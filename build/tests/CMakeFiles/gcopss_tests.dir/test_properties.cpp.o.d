@@ -293,17 +293,8 @@ tests/CMakeFiles/gcopss_tests.dir/test_properties.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/gcopss/experiment.hpp /root/repo/src/common/units.hpp \
- /root/repo/src/copss/balancer.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/common/name.hpp /root/repo/src/common/hash.hpp \
- /root/repo/src/copss/st.hpp /root/repo/src/common/bloom.hpp \
- /root/repo/src/net/packet.hpp /root/repo/src/game/map.hpp \
- /root/repo/src/game/objects.hpp /root/repo/src/metrics/latency.hpp \
- /root/repo/src/common/stats.hpp /root/repo/src/net/params.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -323,12 +314,20 @@ tests/CMakeFiles/gcopss_tests.dir/test_properties.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.hpp \
+ /root/repo/src/copss/st.hpp /root/repo/src/common/bloom.hpp \
+ /root/repo/src/common/name.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/common/units.hpp /root/repo/src/gcopss/experiment.hpp \
+ /root/repo/src/copss/balancer.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/game/map.hpp /root/repo/src/game/objects.hpp \
+ /root/repo/src/metrics/latency.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/net/params.hpp /root/repo/src/trace/trace.hpp \
  /root/repo/tests/world_fixture.hpp /root/repo/src/copss/deploy.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/des/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/topology.hpp /root/repo/src/copss/router.hpp \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/copss/router.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/copss/packets.hpp /root/repo/src/ndn/forwarder.hpp \
  /root/repo/src/ndn/content_store.hpp /usr/include/c++/12/list \

@@ -327,8 +327,8 @@ tests/CMakeFiles/gcopss_tests.dir/test_twostep.cpp.o: \
  /root/repo/tests/world_fixture.hpp /root/repo/src/copss/deploy.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/des/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/topology.hpp /root/repo/src/copss/router.hpp \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/topology.hpp \
+ /root/repo/src/copss/router.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/copss/packets.hpp /root/repo/src/ndn/forwarder.hpp \
  /root/repo/src/ndn/content_store.hpp /usr/include/c++/12/list \

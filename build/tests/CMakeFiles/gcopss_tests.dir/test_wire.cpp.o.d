@@ -324,10 +324,11 @@ tests/CMakeFiles/gcopss_tests.dir/test_wire.cpp.o: \
  /root/repo/src/des/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/params.hpp /root/repo/src/net/topology.hpp \
- /root/repo/src/ndn/packets.hpp /root/repo/src/ndngame/ndngame.hpp \
- /root/repo/src/ndn/forwarder.hpp /root/repo/src/ndn/content_store.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/ndn/fib.hpp \
- /root/repo/src/ndn/pit.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/params.hpp \
+ /root/repo/src/net/topology.hpp /root/repo/src/ndn/packets.hpp \
+ /root/repo/src/ndngame/ndngame.hpp /root/repo/src/ndn/forwarder.hpp \
+ /root/repo/src/ndn/content_store.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/ndn/fib.hpp /root/repo/src/ndn/pit.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

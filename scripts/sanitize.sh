@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Build and run the full test suite (chaos tests included) under
+# AddressSanitizer + UndefinedBehaviorSanitizer. Any sanitizer report aborts
+# the offending test (-fno-sanitize-recover=all), so a green run means a
+# clean run. Usage: scripts/sanitize.sh [ctest-args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan "$@"

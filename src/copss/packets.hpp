@@ -30,6 +30,10 @@ struct SubscribePacket : Packet {
   Name cd;
   Name scope;  // assigned prefix this copy heads for (valid when `scoped`)
   bool scoped = false;
+  // Re-announced during ST resync after a router restart: routers apply it
+  // idempotently (no refcount bump when the face already subscribes) so a
+  // replay never corrupts Unsubscribe accounting.
+  bool resync = false;
 };
 
 struct UnsubscribePacket : Packet {
@@ -72,6 +76,13 @@ struct MulticastPacket : Packet {
   SimTime publishedAt;   // for end-to-end latency metrics
   std::uint64_t seq;     // globally unique publication id (metrics/dedup)
   NodeId publisher;      // metrics only; routers never inspect it
+  // Reliable publish: the RP acknowledges delivery back to the publisher,
+  // which retransmits on timeout with exponential backoff.
+  bool wantAck = false;
+  // A retransmission bypasses router seq-suppression (the first attempt may
+  // have died past a router that already recorded the seq); end hosts still
+  // dedup exactly, so subscribers see each seq at most once.
+  bool retx = false;
 };
 
 // COPSS two-step dissemination (the original ANCS'11 COPSS design that
@@ -153,6 +164,42 @@ struct StLeavePacket : Packet {
       : Packet(kKind, kControlPacketBytes), cds(std::move(c)), txnId(txn) {}
   std::vector<Name> cds;
   std::uint64_t txnId;
+};
+
+// --- fault recovery control ---
+
+// RP -> publisher: publication `seq` was decapsulated and multicast. Routed
+// hop-by-hop toward the publisher along SPF next hops (no PIT state needed;
+// the simulator shares one SPF table across all stacks).
+struct PubAckPacket : Packet {
+  static constexpr Kind kKind = Kind::PubAck;
+  PubAckPacket(NodeId pub, std::uint64_t s)
+      : Packet(kKind, kControlPacketBytes), publisher(pub), seq(s) {}
+  NodeId publisher;
+  std::uint64_t seq;
+};
+
+// RP -> standby: liveness beacon carrying the currently served prefixes, so
+// the standby knows exactly what to assume when the beacons stop.
+struct RpHeartbeatPacket : Packet {
+  static constexpr Kind kKind = Kind::RpHeartbeat;
+  RpHeartbeatPacket(NodeId rpIn, NodeId standbyIn, std::vector<Name> p)
+      : Packet(kKind, kControlPacketBytes), rp(rpIn), standby(standbyIn),
+        prefixes(std::move(p)) {}
+  NodeId rp;
+  NodeId standby;
+  std::vector<Name> prefixes;
+};
+
+// Restarted router -> every neighbour: "my Subscription Table is gone —
+// re-announce". Hosts resend their subscriptions; routers replay the scoped
+// subscriptions they had forwarded to this face plus any unconfirmed
+// pending-ST joins, so an in-flight migration survives the crash.
+struct ResyncRequestPacket : Packet {
+  static constexpr Kind kKind = Kind::StResync;
+  explicit ResyncRequestPacket(NodeId originIn)
+      : Packet(kKind, kControlPacketBytes), origin(originIn) {}
+  NodeId origin;
 };
 
 }  // namespace gcopss::copss

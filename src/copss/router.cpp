@@ -98,6 +98,15 @@ void CopssRouter::handle(NodeId fromFace, const PacketPtr& pkt) {
     case Packet::Kind::StLeave:
       onLeave(fromFace, packet_cast<StLeavePacket>(pkt));
       return;
+    case Packet::Kind::PubAck:
+      onPubAck(fromFace, pkt);
+      return;
+    case Packet::Kind::RpHeartbeat:
+      onHeartbeat(fromFace, pkt);
+      return;
+    case Packet::Kind::StResync:
+      onResyncRequest(fromFace, packet_cast<ResyncRequestPacket>(pkt));
+      return;
     default:
       return;  // IP packets never reach a COPSS router in these experiments
   }
@@ -140,6 +149,15 @@ void CopssRouter::rpDeliver(NodeId arrivalFace, const PacketPtr& multicast) {
   const auto& mcast = packet_cast<MulticastPacket>(multicast);
   ++rpDecapsulations_;
   stForward(kInvalidNode, multicast);
+  if (mcast.wantAck && mcast.publisher != kInvalidNode) {
+    // Reliable publish: confirm the decapsulation back to the publisher so
+    // it can stop retransmitting. Routed hop-by-hop along SPF next hops.
+    const NodeId nh = network().topology().nextHop(id(), mcast.publisher);
+    if (nh != kInvalidNode) {
+      send(nh, makePacket<PubAckPacket>(mcast.publisher, mcast.seq));
+      ++acksSent_;
+    }
+  }
   for (const Name& cd : mcast.cds) balancer_.recordPublication(cd);
   if (opts_.autoBalance) maybeSplit();
 }
@@ -166,11 +184,16 @@ void CopssRouter::stForward(NodeId excludeFace, const PacketPtr& multicast) {
     sent.push_back(excludeFace);
   }
   for (NodeId face : faces) {
-    if (std::find(sent.begin(), sent.end(), face) != sent.end()) {
+    const bool served = std::find(sent.begin(), sent.end(), face) != sent.end();
+    // A retransmission re-floods the tree: the seq record cannot tell
+    // "served" from "sent but lost downstream", so end hosts do the final
+    // exact dedup. Local delivery has no link to lose on, so it stays
+    // suppressed exactly.
+    if (served && (!mcast.retx || face == ndn::kLocalFace)) {
       ++dupSuppressed_;
       continue;
     }
-    sent.push_back(face);
+    if (!served) sent.push_back(face);
     if (face == ndn::kLocalFace) {
       if (onLocalMulticast) onLocalMulticast(mcast, sim().now());
       continue;
@@ -192,11 +215,15 @@ void CopssRouter::publishLocal(const PacketPtr& multicast) {
 // ------------------------------------------------------------ subscriptions
 
 void CopssRouter::onSubscribe(NodeId fromFace, const SubscribePacket& pkt) {
+  // Resync replays are idempotent: a router that never crashed still holds
+  // the entry, and bumping its refcount again would break later Unsubscribe
+  // accounting. Only a router that actually lost state re-applies.
+  if (pkt.resync && st_.faceSubscribed(fromFace, pkt.cd)) return;
   st_.subscribe(fromFace, pkt.cd);
   if (pkt.scoped) {
-    forwardScoped(pkt.cd, pkt.scope, /*subscribe=*/true);
+    forwardScoped(pkt.cd, pkt.scope, /*subscribe=*/true, pkt.resync);
   } else {
-    propagateControl(fromFace, pkt.cd, /*subscribe=*/true);
+    propagateControl(fromFace, pkt.cd, /*subscribe=*/true, pkt.resync);
   }
 }
 
@@ -209,7 +236,8 @@ void CopssRouter::onUnsubscribe(NodeId fromFace, const UnsubscribePacket& pkt) {
   }
 }
 
-void CopssRouter::propagateControl(NodeId excludeFace, const Name& cd, bool subscribe) {
+void CopssRouter::propagateControl(NodeId excludeFace, const Name& cd, bool subscribe,
+                                   bool resync) {
   (void)excludeFace;
   // A subscription to `cd` concerns every RP whose served prefix intersects
   // it (Section III-B: subscribing to /1 means subscribing at the RPs of
@@ -223,10 +251,11 @@ void CopssRouter::propagateControl(NodeId excludeFace, const Name& cd, bool subs
     (void)faces;
     scopes.insert(prefix);
   }
-  for (const Name& scope : scopes) forwardScoped(cd, scope, subscribe);
+  for (const Name& scope : scopes) forwardScoped(cd, scope, subscribe, resync);
 }
 
-void CopssRouter::forwardScoped(const Name& cd, const Name& scope, bool subscribe) {
+void CopssRouter::forwardScoped(const Name& cd, const Name& scope, bool subscribe,
+                                bool resync) {
   const auto key = std::make_pair(cd.hash(), scope.hash());
   if (subscribe) {
     if (++scopeRefs_[key] != 1) return;  // aggregated: tree already joined
@@ -239,9 +268,14 @@ void CopssRouter::forwardScoped(const Name& cd, const Name& scope, bool subscrib
   for (NodeId f : cdFib_.lpm(scope)) {
     if (f == ndn::kLocalFace) return;  // we are the RP for this scope
     if (subscribe) {
-      send(f, makePacket<SubscribePacket>(cd, scope));
+      auto pkt = std::make_shared<SubscribePacket>(cd, scope);
+      pkt->resync = resync;
+      send(f, PacketPtr(std::move(pkt)));
+      sentUpstream_[f].insert({cd, scope});
     } else {
       send(f, makePacket<UnsubscribePacket>(cd, scope));
+      const auto up = sentUpstream_.find(f);
+      if (up != sentUpstream_.end()) up->second.erase({cd, scope});
     }
     return;  // exactly one upstream direction per scope
   }
@@ -495,6 +529,127 @@ void CopssRouter::onLeave(NodeId fromFace, const StLeavePacket& pkt) {
   }
   t.newDownstream.erase(fromFace);
   checkDismantle(pkt.txnId, pkt.cds);
+}
+
+// ------------------------------------------------- fault recovery machinery
+
+void CopssRouter::onPubAck(NodeId fromFace, const PacketPtr& pkt) {
+  (void)fromFace;
+  const auto& ack = packet_cast<PubAckPacket>(pkt);
+  const NodeId nh = network().topology().nextHop(id(), ack.publisher);
+  if (nh != kInvalidNode) send(nh, pkt);
+}
+
+void CopssRouter::onHeartbeat(NodeId fromFace, const PacketPtr& pkt) {
+  const auto& hb = packet_cast<RpHeartbeatPacket>(pkt);
+  if (hb.standby == id()) {
+    if (hb.rp == watchedRp_ && !failedOver_) {
+      lastHeartbeatAt_ = sim().now();
+      watchedPrefixes_ = hb.prefixes;
+    }
+    return;
+  }
+  const NodeId nh = network().topology().nextHop(id(), hb.standby);
+  if (nh != kInvalidNode && nh != fromFace) send(nh, pkt);
+}
+
+void CopssRouter::startRpHeartbeats(NodeId standby, SimTime interval, SimTime until) {
+  assert(standby != id() && interval > 0);
+  hbStandby_ = standby;
+  hbInterval_ = interval;
+  hbUntil_ = until;
+  heartbeatTick();
+}
+
+void CopssRouter::heartbeatTick() {
+  if (hbStandby_ == kInvalidNode) return;
+  // A crashed RP beacons nothing (its CPU is dead) but the tick keeps
+  // running, so beacons resume by themselves after a restart.
+  if (!network().isFailed(id()) && !rpPrefixes_.empty()) {
+    const NodeId nh = network().topology().nextHop(id(), hbStandby_);
+    if (nh != kInvalidNode) {
+      send(nh, makePacket<RpHeartbeatPacket>(
+                   id(), hbStandby_,
+                   std::vector<Name>(rpPrefixes_.begin(), rpPrefixes_.end())));
+      ++heartbeatsSent_;
+    }
+  }
+  if (sim().now() + hbInterval_ <= hbUntil_) {
+    sim().schedule(hbInterval_, [this]() { heartbeatTick(); });
+  }
+}
+
+void CopssRouter::watchRpLiveness(NodeId rp, SimTime timeout, SimTime until) {
+  assert(rp != id() && timeout > 0);
+  watchedRp_ = rp;
+  watchTimeout_ = timeout;
+  watchUntil_ = until;
+  lastHeartbeatAt_ = sim().now();
+  failedOver_ = false;
+  watchTick();
+}
+
+void CopssRouter::watchTick() {
+  if (watchedRp_ == kInvalidNode) return;
+  // Fail over only after at least one beacon told us which prefixes the RP
+  // serves; a standby that never heard from the RP has nothing to assume.
+  if (!failedOver_ && !network().isFailed(id()) && !watchedPrefixes_.empty() &&
+      sim().now() - lastHeartbeatAt_ > watchTimeout_) {
+    failedOver_ = true;
+    ++failovers_;
+    lastFailoverAt_ = sim().now();
+    assumeRp(watchedPrefixes_);
+  }
+  const SimTime step = watchTimeout_ / 2 > 0 ? watchTimeout_ / 2 : 1;
+  if (sim().now() + step <= watchUntil_) {
+    sim().schedule(step, [this]() { watchTick(); });
+  }
+}
+
+void CopssRouter::onCrash() {
+  // Volatile COPSS state is gone; the FIB and RP role survive (persisted
+  // config / routing-protocol state, re-converged by the time we restart).
+  st_ = SubscriptionTable(opts_.st);
+  txns_.clear();
+  scopeRefs_.clear();
+  sentUpstream_.clear();
+  seenFloods_.clear();
+  sentFaces_.clear();
+  std::fill(seqRing_.begin(), seqRing_.end(), 0);
+  seqRingPos_ = 0;
+}
+
+void CopssRouter::onRestart() {
+  lastHeartbeatAt_ = sim().now();  // a watching standby must re-arm, not fire
+  const auto req = makePacket<ResyncRequestPacket>(id());
+  for (NodeId nb : network().topology().neighbors(id())) {
+    send(nb, req);
+    ++resyncRequestsSent_;
+  }
+}
+
+void CopssRouter::onResyncRequest(NodeId fromFace, const ResyncRequestPacket& pkt) {
+  (void)pkt;
+  // Replay the scoped subscriptions this router had forwarded to the
+  // restarted neighbour. Sent verbatim (not through forwardScoped): our own
+  // refcounts are intact, only the neighbour's table needs rebuilding.
+  const auto it = sentUpstream_.find(fromFace);
+  if (it != sentUpstream_.end()) {
+    for (const auto& [cd, scope] : it->second) {
+      auto sub = std::make_shared<SubscribePacket>(cd, scope);
+      sub->resync = true;
+      send(fromFace, PacketPtr(std::move(sub)));
+      ++subscriptionReplays_;
+    }
+  }
+  // Pending-ST replay: unconfirmed joins through the restarted neighbour are
+  // re-sent so an in-flight migration completes despite the crash.
+  for (const auto& [txnId, t] : txns_) {
+    if (t.joinSent && !t.confirmed && t.newUpstream == fromFace) {
+      send(fromFace, makePacket<StJoinPacket>(t.cds, txnId));
+      ++joinReplays_;
+    }
+  }
 }
 
 void CopssRouter::checkDismantle(std::uint64_t txnId, const std::vector<Name>& cds) {

@@ -85,6 +85,14 @@ class CopssRouter : public Node {
   std::uint64_t unroutablePublications() const { return unroutable_; }
   std::uint64_t duplicatesSuppressed() const { return dupSuppressed_; }
   std::uint64_t splitsInitiated() const { return splitsInitiated_; }
+  // -- recovery counters (aggregated by metrics::collectFaultRecovery) --
+  std::uint64_t acksSent() const { return acksSent_; }
+  std::uint64_t heartbeatsSent() const { return heartbeatsSent_; }
+  std::uint64_t failovers() const { return failovers_; }
+  SimTime lastFailoverAt() const { return lastFailoverAt_; }
+  std::uint64_t resyncRequestsSent() const { return resyncRequestsSent_; }
+  std::uint64_t subscriptionReplays() const { return subscriptionReplays_; }
+  std::uint64_t joinReplays() const { return joinReplays_; }
 
   // Force a split now (tests); returns false if no split is possible.
   bool forceSplit();
@@ -100,8 +108,26 @@ class CopssRouter : public Node {
   // router's tree via the join/confirm machinery (leaves toward the dead RP
   // fall into the void, harmlessly). Publications routed to the dead RP
   // during the outage are lost — the recovery bounds the loss window, it
-  // cannot undo it.
+  // cannot undo it (publishers using reliable mode retransmit into the new
+  // tree, closing the gap end-to-end).
   void assumeRp(const std::vector<Name>& prefixes);
+
+  // ---- RP liveness / automatic failover ----
+  // As an RP: beacon the served prefixes to `standby` every `interval`
+  // (ticks stop past `until` so bounded runs drain the event queue).
+  void startRpHeartbeats(NodeId standby, SimTime interval, SimTime until = INT64_MAX);
+  // As the standby: if no heartbeat from `rp` arrives for `timeout`, assume
+  // the prefixes from the last beacon via assumeRp(). Detection latency is
+  // bounded by timeout + timeout/2 (the check period).
+  void watchRpLiveness(NodeId rp, SimTime timeout, SimTime until = INT64_MAX);
+
+  // ---- crash/restart lifecycle (invoked by Network::applyFaultPlan) ----
+  // A crash loses all volatile COPSS state: ST, pending migrations, scoped
+  // aggregation refcounts, dedup rings. The FIB and RP role survive (modeled
+  // as persisted config / routing-protocol state).
+  void onCrash() override;
+  // A restart asks every neighbour to re-announce (ST resync).
+  void onRestart() override;
 
  private:
   // -- packet handlers --
@@ -114,6 +140,11 @@ class CopssRouter : public Node {
   void onJoin(NodeId fromFace, const StJoinPacket& pkt);
   void onConfirm(NodeId fromFace, const StConfirmPacket& pkt);
   void onLeave(NodeId fromFace, const StLeavePacket& pkt);
+  void onPubAck(NodeId fromFace, const PacketPtr& pkt);
+  void onHeartbeat(NodeId fromFace, const PacketPtr& pkt);
+  void onResyncRequest(NodeId fromFace, const ResyncRequestPacket& pkt);
+  void heartbeatTick();
+  void watchTick();
 
   // Deliver a decapsulated publication as the RP: ST multicast + balancing.
   void rpDeliver(NodeId arrivalFace, const PacketPtr& multicast);
@@ -124,10 +155,12 @@ class CopssRouter : public Node {
 
   // Expand an unscoped host (un)subscription over the intersecting assigned
   // prefixes and forward one scoped copy toward each RP.
-  void propagateControl(NodeId excludeFace, const Name& cd, bool subscribe);
+  void propagateControl(NodeId excludeFace, const Name& cd, bool subscribe,
+                        bool resync = false);
   // Forward one scoped (un)subscribe copy toward its RP (aggregated on a
   // per-(cd, scope) refcount).
-  void forwardScoped(const Name& cd, const Name& scope, bool subscribe);
+  void forwardScoped(const Name& cd, const Name& scope, bool subscribe,
+                     bool resync = false);
 
   // Faces already served with seq (creates the record on first use).
   std::vector<NodeId>& sentRecord(std::uint64_t seq);
@@ -168,12 +201,33 @@ class CopssRouter : public Node {
   std::size_t seqRingPos_ = 0;
   // (cd hash, scope hash) -> downstream refcount for scoped propagation.
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> scopeRefs_;
+  // Scoped subscriptions forwarded per upstream face, kept by Name so they
+  // can be replayed verbatim when that neighbour restarts and asks to resync.
+  std::map<NodeId, std::set<std::pair<Name, Name>>> sentUpstream_;
+
+  // Heartbeat / failover state.
+  NodeId hbStandby_ = kInvalidNode;
+  SimTime hbInterval_ = 0;
+  SimTime hbUntil_ = 0;
+  NodeId watchedRp_ = kInvalidNode;
+  SimTime watchTimeout_ = 0;
+  SimTime watchUntil_ = 0;
+  SimTime lastHeartbeatAt_ = 0;
+  std::vector<Name> watchedPrefixes_;
+  bool failedOver_ = false;
 
   std::uint64_t multicastsForwarded_ = 0;
   std::uint64_t rpDecapsulations_ = 0;
   std::uint64_t unroutable_ = 0;
   std::uint64_t dupSuppressed_ = 0;
   std::uint64_t splitsInitiated_ = 0;
+  std::uint64_t acksSent_ = 0;
+  std::uint64_t heartbeatsSent_ = 0;
+  std::uint64_t failovers_ = 0;
+  SimTime lastFailoverAt_ = -1;
+  std::uint64_t resyncRequestsSent_ = 0;
+  std::uint64_t subscriptionReplays_ = 0;
+  std::uint64_t joinReplays_ = 0;
   std::uint64_t nextNonce_ = (static_cast<std::uint64_t>(id()) << 32) + 1;
 };
 

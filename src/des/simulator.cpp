@@ -11,7 +11,7 @@ void Simulator::scheduleAt(SimTime when, Handler fn) {
 }
 
 std::uint64_t Simulator::run(SimTime until) {
-  stopped_ = false;
+  stopped_ = false;  // a stale stop() must never starve this run (see header)
   std::uint64_t ran = 0;
   while (!queue_.empty() && !stopped_) {
     const Event& top = queue_.top();

@@ -25,10 +25,20 @@ class Simulator {
 
   // Run until the event queue drains or `until` is reached (inclusive).
   // Returns the number of events executed by this call.
+  //
+  // stop()/run() contract: run() clears a pending stop request on entry, so
+  // every run() call makes progress — a stop() issued inside a handler halts
+  // only the run() invocation that is currently executing. Calling run()
+  // again resumes from the remaining queue: pending events keep their
+  // timestamps and their FIFO order at equal timestamps (the seq counter is
+  // never reset), so a stop/resume cycle is invisible to event ordering.
   std::uint64_t run(SimTime until = INT64_MAX);
 
-  // Request that run() return after the current event completes.
+  // Request that run() return after the current event completes. A no-op
+  // outside run(): the flag is cleared when run() next starts.
   void stop() { stopped_ = true; }
+  // True between a stop() call and the next run() entry (or queue drain).
+  bool stopRequested() const { return stopped_; }
 
   std::uint64_t totalEventsExecuted() const { return executed_; }
   std::size_t pendingEvents() const { return queue_.size(); }

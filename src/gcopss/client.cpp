@@ -27,7 +27,38 @@ void GCopssClient::resubscribe(const std::vector<Name>& cds) {
 
 void GCopssClient::publish(const Name& cd, Bytes payload, std::uint64_t seq,
                            game::ObjectId obj) {
-  send(edgeFace_, makePacket<GameUpdatePacket>(cd, payload, sim().now(), seq, id(), obj));
+  if (!reliableEnabled_) {
+    send(edgeFace_, makePacket<GameUpdatePacket>(cd, payload, sim().now(), seq, id(), obj));
+    return;
+  }
+  auto pkt = std::make_shared<GameUpdatePacket>(cd, payload, sim().now(), seq, id(), obj);
+  pkt->wantAck = true;
+  pending_[seq] = PendingPub{cd, payload, obj, sim().now(), 0};
+  scheduleRetry(seq, reliable_.ackTimeout);
+  send(edgeFace_, PacketPtr(std::move(pkt)));
+}
+
+void GCopssClient::scheduleRetry(std::uint64_t seq, SimTime delay) {
+  sim().schedule(delay, [this, seq]() {
+    const auto it = pending_.find(seq);
+    if (it == pending_.end()) return;  // acked in the meantime
+    if (it->second.attempts >= reliable_.maxRetries) {
+      ++publishFailures_;
+      pending_.erase(it);
+      return;
+    }
+    ++it->second.attempts;
+    ++retransmissions_;
+    // Rebuild with the original publish time (true end-to-end latency) and
+    // the retx flag (routers re-flood past their seq-suppression records).
+    auto pkt = std::make_shared<GameUpdatePacket>(
+        it->second.cd, it->second.payload, it->second.publishedAt, seq, id(),
+        it->second.obj);
+    pkt->wantAck = true;
+    pkt->retx = true;
+    send(edgeFace_, PacketPtr(std::move(pkt)));
+    scheduleRetry(seq, reliable_.ackTimeout << it->second.attempts);
+  });
 }
 
 void GCopssClient::publishTwoStep(const Name& cd, Bytes payload, std::uint64_t seq) {
@@ -98,6 +129,23 @@ void GCopssClient::handle(NodeId fromFace, const PacketPtr& pkt) {
         onData_(std::static_pointer_cast<const ndn::DataPacket>(pkt), sim().now());
       }
       return;
+    case Packet::Kind::PubAck: {
+      const auto& ack = packet_cast<copss::PubAckPacket>(pkt);
+      if (ack.publisher == id() && pending_.erase(ack.seq) > 0) ++acksReceived_;
+      return;
+    }
+    case Packet::Kind::StResync: {
+      // Edge router restarted with an empty Subscription Table: re-announce
+      // everything we subscribe to. The resync flag keeps replays idempotent
+      // at routers that did not lose state.
+      for (const Name& cd : subscriptions_) {
+        auto sub = std::make_shared<copss::SubscribePacket>(cd);
+        sub->resync = true;
+        send(edgeFace_, PacketPtr(std::move(sub)));
+        ++resubscribesSent_;
+      }
+      return;
+    }
     default:
       return;
   }

@@ -41,6 +41,31 @@ class GCopssClient : public Node {
   void publish(const Name& cd, Bytes payload, std::uint64_t seq, game::ObjectId obj = 0);
   void setMulticastCallback(MulticastCallback cb) { onMulticast_ = std::move(cb); }
 
+  // ---- reliable publish (fault recovery) ----
+  // When enabled, every publish() requests a PubAck from the RP and is
+  // retransmitted on timeout with exponential backoff (ackTimeout, 2x, 4x,
+  // ...) up to maxRetries attempts. Retransmissions keep the original
+  // publishedAt so latency metrics measure true end-to-end delay, and carry
+  // the retx flag so routers re-flood instead of seq-suppressing them;
+  // subscribers still dedup exactly. Off by default: unacked publishes stay
+  // byte-identical to the paper's one-step datapath.
+  struct ReliableOptions {
+    SimTime ackTimeout = ms(50);
+    unsigned maxRetries = 5;
+  };
+  void enableReliablePublish() { enableReliablePublish(ReliableOptions{}); }
+  void enableReliablePublish(ReliableOptions opts) {
+    reliable_ = opts;
+    reliableEnabled_ = true;
+  }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t acksReceived() const { return acksReceived_; }
+  // Publications abandoned after maxRetries unacked attempts.
+  std::uint64_t publishFailures() const { return publishFailures_; }
+  std::size_t pendingPublications() const { return pending_.size(); }
+  // Subscriptions re-announced in response to an edge-router ST resync.
+  std::uint64_t resubscribesSent() const { return resubscribesSent_; }
+
   // ---- COPSS two-step mode (ANCS'11) ----
   // Multicast only a snippet announcing /pub/<id>/<seq>; subscribers that
   // receive the announcement pull the payload with an NDN Interest, answered
@@ -67,6 +92,7 @@ class GCopssClient : public Node {
  private:
   bool matchesSubscription(const copss::MulticastPacket& mcast) const;
   bool seenSeq(std::uint64_t seq);
+  void scheduleRetry(std::uint64_t seq, SimTime delay);
 
   NodeId edgeFace_;
   std::set<Name> subscriptions_;
@@ -96,6 +122,23 @@ class GCopssClient : public Node {
   std::map<Name, HeldContent> held_;
   std::uint64_t twoStepFetches_ = 0;
   std::uint64_t twoStepServed_ = 0;
+
+  // Reliable-publish state: everything needed to rebuild the packet for a
+  // retransmission, keyed by seq until the RP's ack clears it.
+  struct PendingPub {
+    Name cd;
+    Bytes payload;
+    game::ObjectId obj;
+    SimTime publishedAt;
+    unsigned attempts = 0;  // retransmissions so far
+  };
+  bool reliableEnabled_ = false;
+  ReliableOptions reliable_;
+  std::map<std::uint64_t, PendingPub> pending_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acksReceived_ = 0;
+  std::uint64_t publishFailures_ = 0;
+  std::uint64_t resubscribesSent_ = 0;
 };
 
 }  // namespace gcopss::gc

@@ -1,0 +1,57 @@
+#include "metrics/fault_report.hpp"
+
+#include <fstream>
+
+#include "copss/router.hpp"
+#include "gcopss/client.hpp"
+#include "net/network.hpp"
+
+namespace gcopss::metrics {
+
+FaultRecoveryReport collectFaultRecovery(
+    const Network& net, const std::vector<const copss::CopssRouter*>& routers,
+    const std::vector<const gc::GCopssClient*>& clients) {
+  FaultRecoveryReport r;
+  r.injected = net.faultStats();
+  r.networkDrops = net.totalDrops();
+  for (const auto* router : routers) {
+    r.acksSent += router->acksSent();
+    r.heartbeatsSent += router->heartbeatsSent();
+    r.failovers += router->failovers();
+    if (router->lastFailoverAt() > r.lastFailoverAt) {
+      r.lastFailoverAt = router->lastFailoverAt();
+    }
+    r.resyncRequests += router->resyncRequestsSent();
+    r.subscriptionReplays += router->subscriptionReplays();
+    r.joinReplays += router->joinReplays();
+  }
+  for (const auto* client : clients) {
+    r.retransmissions += client->retransmissions();
+    r.acksReceived += client->acksReceived();
+    r.publishFailures += client->publishFailures();
+    r.resubscribes += client->resubscribesSent();
+  }
+  return r;
+}
+
+bool writeFaultRecoveryCsv(const std::string& path, const FaultRecoveryReport& r) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "random_loss,link_down_loss,jittered,reordered,crashes,restarts,"
+         "network_drops,acks_sent,heartbeats_sent,failovers,last_failover_ms,"
+         "resync_requests,subscription_replays,join_replays,retransmissions,"
+         "acks_received,publish_failures,resubscribes,expected,delivered,"
+         "delivery_ratio\n";
+  out << r.injected.randomLoss << ',' << r.injected.linkDownLoss << ','
+      << r.injected.jittered << ',' << r.injected.reordered << ','
+      << r.injected.crashes << ',' << r.injected.restarts << ','
+      << r.networkDrops << ',' << r.acksSent << ',' << r.heartbeatsSent << ','
+      << r.failovers << ',' << (r.lastFailoverAt < 0 ? -1.0 : toMs(r.lastFailoverAt))
+      << ',' << r.resyncRequests << ',' << r.subscriptionReplays << ','
+      << r.joinReplays << ',' << r.retransmissions << ',' << r.acksReceived << ','
+      << r.publishFailures << ',' << r.resubscribes << ',' << r.expectedDeliveries
+      << ',' << r.deliveries << ',' << r.deliveryRatio() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace gcopss::metrics

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+
+namespace gcopss {
+class Network;
+namespace copss {
+class CopssRouter;
+}
+namespace gc {
+class GCopssClient;
+}
+}  // namespace gcopss
+
+namespace gcopss::metrics {
+
+// Aggregated view of one faulty run: every injected fault on one side, every
+// recovery action on the other, so a bench or chaos test can report delivery
+// ratio and recovery latency in one row.
+struct FaultRecoveryReport {
+  // --- injected (from the Network's FaultInjector) ---
+  FaultStats injected;
+  std::uint64_t networkDrops = 0;  // all drops: faults + blackholes + buffers
+
+  // --- recovery actions (routers) ---
+  std::uint64_t acksSent = 0;
+  std::uint64_t heartbeatsSent = 0;
+  std::uint64_t failovers = 0;
+  SimTime lastFailoverAt = -1;  // -1: no failover happened
+  std::uint64_t resyncRequests = 0;
+  std::uint64_t subscriptionReplays = 0;
+  std::uint64_t joinReplays = 0;
+
+  // --- recovery actions (clients) ---
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acksReceived = 0;
+  std::uint64_t publishFailures = 0;
+  std::uint64_t resubscribes = 0;
+
+  // --- outcome (filled by the harness, which knows the ground truth) ---
+  std::uint64_t expectedDeliveries = 0;
+  std::uint64_t deliveries = 0;
+
+  double deliveryRatio() const {
+    if (expectedDeliveries == 0) return 1.0;
+    return static_cast<double>(deliveries) / static_cast<double>(expectedDeliveries);
+  }
+};
+
+// Sum counters over the whole deployment. expected/deliveries stay zero —
+// only the experiment harness knows the entitled audience.
+FaultRecoveryReport collectFaultRecovery(
+    const Network& net, const std::vector<const copss::CopssRouter*>& routers,
+    const std::vector<const gc::GCopssClient*>& clients);
+
+// One header + one data row; same conventions as the other CSV writers
+// ('.' decimals, no locale, truncate on open, false on I/O failure).
+bool writeFaultRecoveryCsv(const std::string& path, const FaultRecoveryReport& r);
+
+}  // namespace gcopss::metrics

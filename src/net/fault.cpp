@@ -1,0 +1,37 @@
+#include "net/fault.hpp"
+
+namespace gcopss {
+
+FaultInjector::Verdict FaultInjector::onTransmit(NodeId from, NodeId to, SimTime now) {
+  Verdict v;
+  for (const LinkFaultSpec& s : plan_.links) {
+    if (!s.applies(from, to)) continue;
+    if (s.downAt(now)) {
+      ++stats_.linkDownLoss;
+      v.drop = true;
+      return v;  // a dead link needs no further draws
+    }
+    // Draw in a fixed order per matching spec so the stream stays aligned
+    // with the schedule regardless of which faults fire.
+    if (s.lossProb > 0.0 && rng_.bernoulli(s.lossProb)) {
+      ++stats_.randomLoss;
+      v.drop = true;
+      return v;
+    }
+    if (s.jitterMax > 0) {
+      const SimTime extra = static_cast<SimTime>(
+          rng_.uniform() * static_cast<double>(s.jitterMax));
+      if (extra > 0) {
+        ++stats_.jittered;
+        v.extraDelay += extra;
+      }
+    }
+    if (s.reorderProb > 0.0 && rng_.bernoulli(s.reorderProb)) {
+      ++stats_.reordered;
+      v.extraDelay += s.reorderDelay;
+    }
+  }
+  return v;
+}
+
+}  // namespace gcopss

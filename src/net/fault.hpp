@@ -1,0 +1,146 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace gcopss {
+
+// Declarative, seeded fault schedule applied by Network. Replaces the
+// all-or-nothing setNodeFailed() blackhole with a principled fault model:
+// per-link packet loss, delay jitter, reordering, link up/down windows, and
+// node crash/restart events. Every random decision is drawn from one seeded
+// stream in DES order, so a (plan, seed) pair reproduces bit-identically —
+// a chaos failure is replayed from its printed seed alone.
+
+struct LinkFaultSpec {
+  // Endpoints the spec applies to (either direction). Both kInvalidNode
+  // means "every link" — the wildcard used for ambient background loss.
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  double lossProb = 0.0;     // iid per-packet drop probability
+  SimTime jitterMax = 0;     // uniform extra delay in [0, jitterMax)
+  double reorderProb = 0.0;  // chance a packet is held `reorderDelay` longer
+  SimTime reorderDelay = 0;  // than its neighbours, overtaking later sends
+
+  struct Window {
+    SimTime from = 0;
+    SimTime to = 0;  // link blackholes both directions during [from, to)
+  };
+  std::vector<Window> downWindows;
+
+  bool applies(NodeId x, NodeId y) const {
+    if (a == kInvalidNode && b == kInvalidNode) return true;
+    return (a == x && b == y) || (a == y && b == x);
+  }
+  bool downAt(SimTime now) const {
+    for (const Window& w : downWindows) {
+      if (now >= w.from && now < w.to) return true;
+    }
+    return false;
+  }
+};
+
+struct NodeFaultSpec {
+  NodeId node = kInvalidNode;
+  SimTime crashAt = 0;
+  SimTime restartAt = -1;  // < 0: the node never comes back
+};
+
+// One counter per injected fault class; exposed through Network so metrics
+// and chaos tests can assert that a schedule actually exercised each fault.
+struct FaultStats {
+  std::uint64_t randomLoss = 0;    // packets dropped by lossProb
+  std::uint64_t linkDownLoss = 0;  // packets dropped inside a down window
+  std::uint64_t jittered = 0;      // packets given extra delay
+  std::uint64_t reordered = 0;     // packets held past a later send
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+
+  std::uint64_t totalInjected() const {
+    return randomLoss + linkDownLoss + jittered + reordered + crashes + restarts;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<LinkFaultSpec> links;
+  std::vector<NodeFaultSpec> nodes;
+
+  bool empty() const { return links.empty() && nodes.empty(); }
+
+  // --- builders (chainable; cover the common chaos-schedule shapes) ---
+  FaultPlan& loseEverywhere(double p) {
+    wildcard().lossProb = p;
+    return *this;
+  }
+  FaultPlan& jitterEverywhere(SimTime maxJitter) {
+    wildcard().jitterMax = maxJitter;
+    return *this;
+  }
+  FaultPlan& reorderEverywhere(double p, SimTime holdFor) {
+    LinkFaultSpec& w = wildcard();
+    w.reorderProb = p;
+    w.reorderDelay = holdFor;
+    return *this;
+  }
+  FaultPlan& loseOnLink(NodeId a, NodeId b, double p) {
+    LinkFaultSpec s;
+    s.a = a;
+    s.b = b;
+    s.lossProb = p;
+    links.push_back(s);
+    return *this;
+  }
+  FaultPlan& linkDown(NodeId a, NodeId b, SimTime from, SimTime to) {
+    LinkFaultSpec s;
+    s.a = a;
+    s.b = b;
+    s.downWindows.push_back({from, to});
+    links.push_back(s);
+    return *this;
+  }
+  FaultPlan& crash(NodeId node, SimTime at, SimTime restartAt = -1) {
+    nodes.push_back({node, at, restartAt});
+    return *this;
+  }
+
+ private:
+  LinkFaultSpec& wildcard() {
+    for (auto& s : links) {
+      if (s.a == kInvalidNode && s.b == kInvalidNode) return s;
+    }
+    links.emplace_back();
+    return links.back();
+  }
+};
+
+// Runtime companion of a FaultPlan: draws the per-packet decisions. Owned by
+// Network; one RNG stream, consumed in transmit order (which the DES makes
+// deterministic), so verdicts are a pure function of (plan, traffic).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  struct Verdict {
+    bool drop = false;
+    SimTime extraDelay = 0;
+  };
+
+  Verdict onTransmit(NodeId from, NodeId to, SimTime now);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  FaultStats& stats() { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace gcopss

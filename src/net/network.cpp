@@ -61,10 +61,36 @@ void Network::transmit(NodeId from, NodeId to, PacketPtr pkt) {
   ++totalLinkPackets_;
   const auto txTime = static_cast<SimTime>(
       static_cast<double>(pkt->size) * 8.0 / link.bandwidthBps * kSecond);
-  const SimTime arrival = link.delay + txTime;
+  SimTime arrival = link.delay + txTime;
+  if (fault_) {
+    const auto verdict = fault_->onTransmit(from, to, sim_.now());
+    if (verdict.drop) {
+      ++totalDrops_;
+      return;  // lost on the wire (random loss or down window)
+    }
+    arrival += verdict.extraDelay;  // jitter / reorder hold
+  }
   sim_.schedule(arrival, [this, to, from, p = std::move(pkt)]() mutable {
     enqueueCpu(to, from, std::move(p));
   });
+}
+
+void Network::applyFaultPlan(const FaultPlan& plan) {
+  fault_ = std::make_unique<FaultInjector>(plan);
+  for (const NodeFaultSpec& nf : fault_->plan().nodes) {
+    sim_.scheduleAt(nf.crashAt, [this, id = nf.node]() {
+      setNodeFailed(id, true);
+      ++fault_->stats().crashes;
+      if (hasNode(id)) node(id).onCrash();
+    });
+    if (nf.restartAt >= 0) {
+      sim_.scheduleAt(nf.restartAt, [this, id = nf.node]() {
+        setNodeFailed(id, false);
+        ++fault_->stats().restarts;
+        if (hasNode(id)) node(id).onRestart();
+      });
+    }
+  }
 }
 
 void Network::setNodeFailed(NodeId id, bool failed) {
@@ -90,8 +116,12 @@ void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
   const SimTime start = n.cpuFreeAt_ > now ? n.cpuFreeAt_ : now;
   const SimTime done = start + n.serviceTime(pkt);
   n.cpuFreeAt_ = done;
-  sim_.scheduleAt(done, [&n, fromFace, p = std::move(pkt)]() mutable {
-    n.handle(fromFace, p);
+  sim_.scheduleAt(done, [this, at, fromFace, p = std::move(pkt)]() mutable {
+    if (failed_.count(at)) {
+      ++totalDrops_;
+      return;  // accepted pre-crash, but the CPU died with it still queued
+    }
+    node(at).handle(fromFace, p);
   });
 }
 

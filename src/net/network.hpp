@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "des/simulator.hpp"
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "net/params.hpp"
 #include "net/topology.hpp"
@@ -36,6 +37,13 @@ class Node {
 
   // CPU cost of processing one packet at this node.
   virtual SimTime serviceTime(const PacketPtr& pkt) const = 0;
+
+  // Fault-plan lifecycle hooks. onCrash() fires when a scheduled NodeFaultSpec
+  // takes the node down (volatile state is gone); onRestart() when it comes
+  // back (re-announce / resync). The bare setNodeFailed() blackhole does NOT
+  // invoke these — it stays the low-level primitive.
+  virtual void onCrash() {}
+  virtual void onRestart() {}
 
   // Time until this node's CPU drains its current queue (0 = idle).
   SimTime cpuBacklog() const;
@@ -101,6 +109,18 @@ class Network {
   void setNodeFailed(NodeId id, bool failed);
   bool isFailed(NodeId id) const { return failed_.count(id) > 0; }
 
+  // Install a seeded fault schedule: per-link loss/jitter/reorder applied to
+  // every subsequent transmit, and node crash/restart events scheduled on the
+  // simulator (crash = setNodeFailed + onCrash; restart = revive + onRestart).
+  // Call once, before run(); replaces any previous plan.
+  void applyFaultPlan(const FaultPlan& plan);
+  bool hasFaultPlan() const { return fault_ != nullptr; }
+  // Zeroed stats when no plan is installed.
+  const FaultStats& faultStats() const {
+    static const FaultStats kEmpty{};
+    return fault_ ? fault_->stats() : kEmpty;
+  }
+
   Bytes totalLinkBytes() const { return totalLinkBytes_; }
   std::uint64_t totalLinkPackets() const { return totalLinkPackets_; }
   std::uint64_t totalDrops() const { return totalDrops_; }
@@ -116,6 +136,7 @@ class Network {
   SimParams params_;
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId
   std::set<NodeId> failed_;
+  std::unique_ptr<FaultInjector> fault_;
   Bytes totalLinkBytes_ = 0;
   std::uint64_t totalLinkPackets_ = 0;
   std::uint64_t totalDrops_ = 0;

@@ -30,6 +30,10 @@ struct Packet {
     StJoin,
     StConfirm,
     StLeave,
+    // COPSS fault recovery (reliable publish, RP liveness, ST resync)
+    PubAck,
+    RpHeartbeat,
+    StResync,
     // IP baseline
     IpUnicast,
     IpMulticastPkt,

@@ -81,5 +81,73 @@ TEST(Bloom, RemoveAbsentKeepsPresentSafe) {
   for (const Name& n : present) EXPECT_TRUE(bloom.possiblyContains(n));
 }
 
+// ---------------------------------------------------------------------------
+// Property-based sweep: for randomly generated CD sets across seeds and
+// filter geometries, the filter must never produce a false negative, and the
+// measured false-positive rate must stay within a small factor of the
+// analytic prediction. Failures print the generating seed.
+// ---------------------------------------------------------------------------
+
+struct BloomProperty {
+  std::uint64_t seed;
+  std::size_t bits;
+  unsigned k;
+  std::size_t inserted;
+};
+
+void PrintTo(const BloomProperty& p, std::ostream* os) {
+  *os << "seed=" << p.seed << "/bits=" << p.bits << "/k=" << p.k
+      << "/n=" << p.inserted;
+}
+
+class BloomProperties : public ::testing::TestWithParam<BloomProperty> {};
+
+TEST_P(BloomProperties, NoFalseNegativesAndBoundedFalsePositives) {
+  const auto& p = GetParam();
+  SCOPED_TRACE("bloom property seed=" + std::to_string(p.seed));
+  Rng rng(p.seed);
+  CountingBloomFilter bloom(p.bits, p.k);
+
+  // Random hierarchical CDs, dedup'd so the out-set below is truly disjoint.
+  std::set<std::string> present;
+  while (present.size() < p.inserted) {
+    present.insert("/in/" + std::to_string(rng.next() % 1000000) + "/" +
+                   std::to_string(rng.next() % 64));
+  }
+  for (const auto& s : present) bloom.add(Name::parse(s));
+
+  // Soundness: nothing inserted may ever test negative.
+  for (const auto& s : present) {
+    ASSERT_TRUE(bloom.possiblyContains(Name::parse(s))) << s;
+  }
+
+  // Precision: the measured FP rate over disjoint probes stays within 3x the
+  // analytic bound (plus slack for tiny rates where variance dominates).
+  std::size_t fp = 0;
+  const std::size_t probes = 20000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const Name probe = Name::parse("/out/" + std::to_string(rng.next()));
+    if (bloom.possiblyContains(probe)) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / static_cast<double>(probes);
+  EXPECT_LT(measured, bloom.predictedFalsePositiveRate() * 3 + 0.002);
+
+  // Removing everything restores an empty, non-matching filter: the counting
+  // variant's whole reason to exist (Unsubscribe must be able to undo).
+  for (const auto& s : present) bloom.remove(Name::parse(s));
+  EXPECT_EQ(bloom.approxEntries(), 0u);
+  for (const auto& s : present) {
+    EXPECT_FALSE(bloom.possiblyContains(Name::parse(s))) << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndGeometries, BloomProperties,
+    ::testing::Values(BloomProperty{1, 1 << 12, 7, 300},
+                      BloomProperty{2, 1 << 12, 7, 300},
+                      BloomProperty{3, 1 << 14, 7, 2000},
+                      BloomProperty{4, 1 << 10, 5, 100},
+                      BloomProperty{5, 1 << 13, 4, 800}));
+
 }  // namespace
 }  // namespace gcopss::test

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+#include "copss/st.hpp"
 #include "gcopss/experiment.hpp"
 #include "world_fixture.hpp"
 
@@ -143,6 +145,61 @@ TEST_P(StackEquivalence, SameAudienceAcrossStacks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StackEquivalence, ::testing::Values(3, 17, 29));
+
+// ---------------------------------------------------------------------------
+// PROPERTY: ST prefix aggregation. A subscription at an interior CD covers
+// every leaf underneath it — for any randomly generated leaf set, a face
+// subscribed at "/1" matches every publication whose CD lives under /1 and
+// never one under a sibling root. Holds on both the exact path and the
+// hashed (hash-at-first-hop) data path.
+// ---------------------------------------------------------------------------
+
+class StAggregation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StAggregation, InteriorSubscriptionCoversExactlyItsSubtree) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("st aggregation seed=" + std::to_string(seed));
+  Rng rng(seed);
+
+  copss::SubscriptionTable st;
+  const NodeId face = 7;
+  st.subscribe(face, Name::parse("/1"));
+
+  for (int i = 0; i < 200; ++i) {
+    // A random leaf somewhere under /1, up to 4 levels deep...
+    Name under = Name::parse("/1");
+    const int depth = static_cast<int>(rng.uniformInt(1, 4));
+    for (int d = 0; d < depth; ++d) {
+      under = under.append(std::to_string(rng.uniformInt(0, 99)));
+    }
+    // ...and its mirror under a sibling root the face never subscribed to.
+    Name outside = Name::parse("/" + std::to_string(rng.uniformInt(2, 9)));
+    for (std::size_t d = 1; d < under.size(); ++d) {
+      outside = outside.append(under.at(d));
+    }
+
+    const auto coveredExact = st.matchFaces({under});
+    ASSERT_EQ(coveredExact.size(), 1u) << under.toString();
+    EXPECT_EQ(coveredExact[0], face);
+    EXPECT_TRUE(st.hasIntersectingSubscription(under));
+
+    // The hashed data path (what routers actually run) agrees.
+    const copss::MulticastPacket pkt({under}, 15, 0, 1, 99);
+    EXPECT_EQ(st.matchFacesHashed(pkt.cds, pkt.prefixHashes).size(), 1u)
+        << under.toString();
+
+    EXPECT_TRUE(st.matchFaces({outside}).empty()) << outside.toString();
+    const copss::MulticastPacket out({outside}, 15, 0, 2, 99);
+    EXPECT_TRUE(st.matchFacesHashed(out.cds, out.prefixHashes).empty())
+        << outside.toString();
+  }
+
+  // Unsubscribing the interior CD uncovers the whole subtree again.
+  st.unsubscribe(face, Name::parse("/1"));
+  EXPECT_TRUE(st.matchFaces({Name::parse("/1/2/3")}).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StAggregation, ::testing::Values(5, 23, 71));
 
 }  // namespace
 }  // namespace gcopss::test

@@ -72,5 +72,57 @@ TEST(Simulator, CountsEvents) {
   EXPECT_EQ(sim.totalEventsExecuted(), 42u);
 }
 
+// run() clears a pending stop request on entry: a stop() issued outside any
+// run() (or left over from a previous one) must never starve the next call.
+TEST(Simulator, RunClearsStaleStopOnEntry) {
+  Simulator sim;
+  int ran = 0;
+  sim.scheduleAt(ms(1), [&]() { ++ran; });
+  sim.scheduleAt(ms(2), [&]() { ++ran; });
+  sim.stop();  // stale: nothing is running
+  EXPECT_TRUE(sim.stopRequested());
+  EXPECT_EQ(sim.run(), 2u) << "the stale stop must not block progress";
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(sim.stopRequested());
+}
+
+// A stop/resume cycle is invisible to event ordering: events at equal
+// timestamps stay FIFO across the boundary because the seq counter is never
+// reset, even for events scheduled after the stop at the same timestamp.
+TEST(Simulator, StopThenResumeKeepsEqualTimestampFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    sim.scheduleAt(ms(5), [&, i]() {
+      order.push_back(i);
+      if (i == 2) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.now(), ms(5));
+
+  // Scheduling more work at the very same timestamp while paused: it must
+  // run after the events that were already queued there.
+  sim.scheduleAt(ms(5), [&]() { order.push_back(100); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 100}));
+}
+
+// scheduleAt at an equal timestamp from inside a handler also lands after
+// everything already queued at that instant — scheduling order is the tie
+// break, never insertion time or call site.
+TEST(Simulator, EqualTimestampOrderingFromHandlers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(ms(3), [&]() {
+    order.push_back(1);
+    sim.scheduleAt(ms(3), [&]() { order.push_back(3); });
+  });
+  sim.scheduleAt(ms(3), [&]() { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace gcopss::test
