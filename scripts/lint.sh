@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Determinism lint for the DES core. The simulator's contract is that a
+# (scenario, seed) pair reproduces bit-identically — see test_determinism.cpp.
+# These greps ban the constructs that silently break it:
+#
+#   1. Wall-clock time in simulation code. All time must be SimTime driven by
+#      the event queue; std::chrono clocks or time() leak host timing into
+#      results. (bench/ is exempt: wall-clock is what a benchmark measures.)
+#   2. Non-seeded / global randomness. All draws must come from common/rng
+#      (seeded SplitMix64) so a printed seed replays a failure; rand(),
+#      srand() and std::random_device are unreproducible.
+#   3. Unordered-container iteration in trace/metrics emission. Iteration
+#      order of unordered_{map,set} is implementation-defined; feeding it
+#      into trace output or digests makes the determinism hash flap across
+#      stdlibs. Ordered containers (or sorted snapshots) only.
+#
+# Usage: scripts/lint.sh   (exits non-zero listing offending lines)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+scan() { # scan <description> <pattern> <path...>
+  local desc="$1" pattern="$2"
+  shift 2
+  local hits
+  hits=$(grep -rnE "$pattern" "$@" --include='*.hpp' --include='*.cpp' 2>/dev/null)
+  if [[ -n "$hits" ]]; then
+    echo "lint: $desc:" >&2
+    echo "$hits" >&2
+    fail=1
+  fi
+}
+
+scan "wall-clock time in DES code (use SimTime / sim().now())" \
+  'std::chrono::(system|steady|high_resolution)_clock|[^a-zA-Z_](time|clock|gettimeofday)\(' \
+  src tests
+
+scan "non-seeded randomness (use common/rng.hpp: seeded SplitMix64)" \
+  '[^a-zA-Z_](rand|srand|random)\(\)|std::random_device|std::mt19937' \
+  src tests bench examples
+
+scan "unordered-container iteration feeding trace/metrics output (order is not deterministic)" \
+  'unordered_(map|set)' \
+  src/trace src/metrics
+
+if [[ $fail -ne 0 ]]; then
+  echo "lint: FAILED — determinism hazards found (see above)" >&2
+  exit 1
+fi
+echo "lint: OK"

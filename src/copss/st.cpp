@@ -164,6 +164,31 @@ bool SubscriptionTable::faceSubscribed(NodeId face, const Name& cd) const {
   return it != table_.end() && it->second.exact.count(cd) > 0;
 }
 
+bool SubscriptionTable::bloomMightContain(NodeId face, const Name& cd) const {
+  const auto it = table_.find(face);
+  if (it == table_.end()) return false;
+  if (!opts_.useBloom) return it->second.exact.count(cd) > 0;
+  return it->second.bloom.possiblyContains(cd);
+}
+
+std::vector<Name> SubscriptionTable::prunedOnFace(NodeId face) const {
+  const auto it = table_.find(face);
+  if (it == table_.end()) return {};
+  return {it->second.pruned.begin(), it->second.pruned.end()};
+}
+
+double SubscriptionTable::predictedFalsePositiveRate(NodeId face) const {
+  const auto it = table_.find(face);
+  if (it == table_.end()) return 0.0;
+  return it->second.bloom.predictedFalsePositiveRate();
+}
+
+void SubscriptionTable::corruptBloomForAudit(NodeId face, const Name& cd) {
+  const auto it = table_.find(face);
+  if (it == table_.end()) return;
+  it->second.bloom.remove(cd);
+}
+
 std::size_t SubscriptionTable::entryCount() const {
   std::size_t n = 0;
   for (const auto& [face, entry] : table_) {

@@ -76,6 +76,26 @@ class SubscriptionTable {
 
   std::uint64_t bloomFalsePositives() const { return bloomFalsePositives_; }
 
+  const Options& options() const { return opts_; }
+
+  // --- audit interface (src/check invariant checker) ---
+  // Soundness probe: would `face`'s Bloom filter pass `cd`? Every live exact
+  // subscription MUST probe true, or the data plane silently starves that
+  // face. False for an unknown face.
+  bool bloomMightContain(NodeId face, const Name& cd) const;
+  // Exact CDs pruned on `face` (migration leftovers the auditor checks).
+  std::vector<Name> prunedOnFace(NodeId face) const;
+  // Predicted false-positive rate of `face`'s filter at its current fill
+  // (0.0 for an unknown face) — the drift baseline the auditor measures
+  // observed false positives against.
+  double predictedFalsePositiveRate(NodeId face) const;
+
+  // TEST-ONLY: desynchronise `face`'s Bloom filter from its exact map by
+  // removing `cd` from the filter while the exact entry stays live — the
+  // corruption the ST-soundness invariant exists to catch. Never call this
+  // outside a negative test of the invariant checker.
+  void corruptBloomForAudit(NodeId face, const Name& cd);
+
  private:
   struct FaceEntry {
     CountingBloomFilter bloom;

@@ -1,5 +1,7 @@
 #include "ndn/fib.hpp"
 
+#include <algorithm>
+
 namespace gcopss::ndn {
 
 void Fib::insert(const Name& prefix, NodeId face) {
@@ -102,6 +104,30 @@ std::vector<std::pair<Name, std::vector<NodeId>>> Fib::intersecting(const Name& 
       stack.push_back(Frame{child.get(), f.path.append(comp)});
     }
   }
+  return out;
+}
+
+std::vector<std::pair<Name, std::vector<NodeId>>> Fib::entries() const {
+  std::vector<std::pair<Name, std::vector<NodeId>>> out;
+  struct Frame {
+    const TrieNode* n;
+    Name path;
+  };
+  std::vector<Frame> stack{Frame{&root_, Name()}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (!f.n->faces.empty()) {
+      out.emplace_back(f.path,
+                       std::vector<NodeId>(f.n->faces.begin(), f.n->faces.end()));
+    }
+    for (const auto& [comp, child] : f.n->children) {
+      stack.push_back(Frame{child.get(), f.path.append(comp)});
+    }
+  }
+  // The trie's children are unordered; sort so audit output is stable.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

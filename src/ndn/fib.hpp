@@ -34,6 +34,11 @@ class Fib {
   // (a subscription to /1 must reach the RPs serving /1/1, /1/2, ...).
   std::vector<std::pair<Name, std::vector<NodeId>>> intersecting(const Name& name) const;
 
+  // Every (prefix, faces) entry in the trie, sorted by prefix. Audit /
+  // introspection path (the invariant checker enumerates all routed prefixes
+  // to build its loop-freedom probe set); not used while forwarding.
+  std::vector<std::pair<Name, std::vector<NodeId>>> entries() const;
+
   std::size_t entryCount() const { return entries_; }
 
  private:

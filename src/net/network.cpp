@@ -59,6 +59,7 @@ void Network::transmit(NodeId from, NodeId to, PacketPtr pkt) {
   const Topology::Link& link = topo_.linkBetween(from, to);
   totalLinkBytes_ += pkt->size;
   ++totalLinkPackets_;
+  if (observer_) observer_->onWireSend(from, to, pkt, sim_.now());
   const auto txTime = static_cast<SimTime>(
       static_cast<double>(pkt->size) * 8.0 / link.bandwidthBps * kSecond);
   SimTime arrival = link.delay + txTime;
@@ -66,6 +67,7 @@ void Network::transmit(NodeId from, NodeId to, PacketPtr pkt) {
     const auto verdict = fault_->onTransmit(from, to, sim_.now());
     if (verdict.drop) {
       ++totalDrops_;
+      if (observer_) observer_->onDrop(to, pkt, DropReason::WireFault, sim_.now());
       return;  // lost on the wire (random loss or down window)
     }
     arrival += verdict.extraDelay;  // jitter / reorder hold
@@ -102,8 +104,10 @@ void Network::setNodeFailed(NodeId id, bool failed) {
 }
 
 void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
+  if (observer_) observer_->onCpuEnqueue(at, fromFace, pkt, sim_.now());
   if (failed_.count(at)) {
     ++totalDrops_;
+    if (observer_) observer_->onDrop(at, pkt, DropReason::NodeFailed, sim_.now());
     return;  // crashed node: blackhole
   }
   Node& n = node(at);
@@ -111,6 +115,7 @@ void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
   if (params_.dropBacklog > 0 && n.cpuBacklog() > params_.dropBacklog) {
     ++n.drops_;
     ++totalDrops_;
+    if (observer_) observer_->onDrop(at, pkt, DropReason::BufferFull, sim_.now());
     return;  // finite buffer overflow: packet lost
   }
   const SimTime start = n.cpuFreeAt_ > now ? n.cpuFreeAt_ : now;
@@ -119,8 +124,10 @@ void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
   sim_.scheduleAt(done, [this, at, fromFace, p = std::move(pkt)]() mutable {
     if (failed_.count(at)) {
       ++totalDrops_;
+      if (observer_) observer_->onDrop(at, p, DropReason::CrashedQueued, sim_.now());
       return;  // accepted pre-crash, but the CPU died with it still queued
     }
+    if (observer_) observer_->onHandle(at, fromFace, p, sim_.now());
     node(at).handle(fromFace, p);
   });
 }

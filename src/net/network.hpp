@@ -8,6 +8,7 @@
 
 #include "des/simulator.hpp"
 #include "net/fault.hpp"
+#include "net/observer.hpp"
 #include "net/packet.hpp"
 #include "net/params.hpp"
 #include "net/topology.hpp"
@@ -121,6 +122,12 @@ class Network {
     return fault_ ? fault_->stats() : kEmpty;
   }
 
+  // Passive packet tap (see net/observer.hpp). At most one at a time; the
+  // caller keeps ownership and must clear it (or outlive the Network) before
+  // the observer dies. Null = no tap, zero overhead beyond a pointer test.
+  void setObserver(PacketObserver* obs) { observer_ = obs; }
+  PacketObserver* observer() const { return observer_; }
+
   Bytes totalLinkBytes() const { return totalLinkBytes_; }
   std::uint64_t totalLinkPackets() const { return totalLinkPackets_; }
   std::uint64_t totalDrops() const { return totalDrops_; }
@@ -137,6 +144,7 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId
   std::set<NodeId> failed_;
   std::unique_ptr<FaultInjector> fault_;
+  PacketObserver* observer_ = nullptr;
   Bytes totalLinkBytes_ = 0;
   std::uint64_t totalLinkPackets_ = 0;
   std::uint64_t totalDrops_ = 0;

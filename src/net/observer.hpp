@@ -1,0 +1,56 @@
+#pragma once
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace gcopss {
+
+// Where a packet copy died inside the Network. Conservation audits partition
+// every copy into delivered / dropped(reason) / in-flight, so each drop site
+// in Network must name its reason here.
+enum class DropReason : std::uint8_t {
+  WireFault,     // FaultInjector verdict (random loss or link down window)
+  NodeFailed,    // addressed to a blackholed/crashed node
+  BufferFull,    // receiver CPU backlog exceeded dropBacklog
+  CrashedQueued, // accepted pre-crash, CPU died with the packet still queued
+};
+
+constexpr const char* dropReasonName(DropReason r) {
+  switch (r) {
+    case DropReason::WireFault: return "wire-fault";
+    case DropReason::NodeFailed: return "node-failed";
+    case DropReason::BufferFull: return "buffer-full";
+    case DropReason::CrashedQueued: return "crashed-queued";
+  }
+  return "?";
+}
+
+// Passive tap on every packet movement through the Network. Null by default
+// and costs one pointer test per event, so the data path is unchanged in
+// unchecked runs. The invariant checker (src/check) is the main client; the
+// hooks are deliberately low-level (packet copies, not protocol semantics)
+// so the checker derives conservation without trusting router code.
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+
+  // A copy was put on the wire from `from` toward `to`.
+  virtual void onWireSend(NodeId from, NodeId to, const PacketPtr& pkt, SimTime now) {
+    (void)from; (void)to; (void)pkt; (void)now;
+  }
+  // A copy entered `at`'s CPU queue. fromFace == kInvalidNode for local
+  // origination (application publish), else the wire it arrived on.
+  virtual void onCpuEnqueue(NodeId at, NodeId fromFace, const PacketPtr& pkt, SimTime now) {
+    (void)at; (void)fromFace; (void)pkt; (void)now;
+  }
+  // A copy finished CPU service and is being handed to Node::handle().
+  virtual void onHandle(NodeId at, NodeId fromFace, const PacketPtr& pkt, SimTime now) {
+    (void)at; (void)fromFace; (void)pkt; (void)now;
+  }
+  // A copy died. `at` is the node it was headed to (receiver for wire drops).
+  virtual void onDrop(NodeId at, const PacketPtr& pkt, DropReason reason, SimTime now) {
+    (void)at; (void)pkt; (void)reason; (void)now;
+  }
+};
+
+}  // namespace gcopss

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <memory>
 #include <set>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "copss/deploy.hpp"
 #include "copss/router.hpp"
 #include "des/simulator.hpp"
@@ -17,6 +20,12 @@ namespace gcopss::test {
 // A small G-COPSS world for integration tests: a line of COPSS routers with
 // one client per router, all wiring done explicitly so tests can poke at any
 // table. Layout: client[i] -- router[i] -- router[i+1] ...
+//
+// Every world runs under the invariant checker (src/check): by default only
+// the packet-conservation ledger, audited when the world is torn down, so
+// the whole suite continuously proves no packet copy is ever lost without an
+// accounted reason. Call enableFullAudit() for the protocol-state invariants
+// (RP ownership, ST soundness, loop freedom, delivery).
 struct LineWorld {
   explicit LineWorld(std::size_t routerCount,
                      copss::CopssRouter::Options opts = {},
@@ -44,6 +53,29 @@ struct LineWorld {
           &net->emplaceNode<gc::GCopssClient>(clientIds[i], *net, routerIds[i]));
       routers[i]->markHostFace(clientIds[i]);
     }
+    check::InvariantChecker::Options conservationOnly;
+    conservationOnly.checkPrefixFree = false;
+    conservationOnly.checkStSoundness = false;
+    conservationOnly.checkLoopFreedom = false;
+    checker = std::make_unique<check::InvariantChecker>(*net, routers, clients,
+                                                        conservationOnly);
+  }
+
+  ~LineWorld() {
+    if (!checker) return;
+    checker->finalAudit();
+    if (!expectViolations && !checker->ok()) {
+      ADD_FAILURE() << checker->reportText();
+    }
+  }
+
+  // Replace the default conservation-only checker with a fully-optioned one.
+  // Call before any traffic runs (the ledgers restart from now).
+  check::InvariantChecker& enableFullAudit(check::InvariantChecker::Options opts = {}) {
+    checker.reset();  // release the observer slot first
+    checker = std::make_unique<check::InvariantChecker>(*net, routers, clients,
+                                                        std::move(opts));
+    return *checker;
   }
 
   void installAssignment(const copss::RpAssignment& a) {
@@ -65,6 +97,11 @@ struct LineWorld {
   std::vector<NodeId> clientIds;
   std::vector<copss::CopssRouter*> routers;
   std::vector<gc::GCopssClient*> clients;
+  // Negative tests provoke violations on purpose; set this so teardown does
+  // not fail the test for them.
+  bool expectViolations = false;
+  // Declared last: the checker detaches from `net` before `net` dies.
+  std::unique_ptr<check::InvariantChecker> checker;
 };
 
 // Records (receiverIndex, publicationSeq) pairs.
