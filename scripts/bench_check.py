@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Guard bench_core throughput against regressions.
+
+Compares a fresh `bench_core --quick` run against the committed baseline
+(BENCH_core.json, field "quick_reference") and fails if events/sec on either
+workload regressed more than the threshold (default 20%), if the run leaked
+packets (invariant audit not ok), or if allocations/event on the pure event
+loop crept back up (the engine's zero-alloc steady state is a hard property,
+not a rate, so it gets an absolute bound rather than a ratio).
+
+Usage:
+  scripts/bench_check.py --fresh BENCH_core_quick.json [--baseline BENCH_core.json]
+                         [--threshold 0.20]
+
+Exit status: 0 ok, 1 regression/violation, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+# The steady-state event loop must stay allocation-free; allow only the
+# harness's own fixed startup allocations amortized over a --quick run.
+MAX_LOOP_ALLOCS_PER_EVENT = 0.01
+
+
+def rate(section):
+    return section["events_per_sec"]
+
+
+def check(fresh, base, threshold):
+    failures = []
+
+    for label, fresh_m, base_m in [
+        ("event_loop", fresh["event_loop"]["loop"], base["event_loop"]["loop"]),
+        ("fig6", fresh["fig6"]["timed"], base["fig6"]["timed"]),
+    ]:
+        f, b = rate(fresh_m), rate(base_m)
+        ratio = f / b if b > 0 else 0.0
+        print(f"{label}: fresh {f:,.0f} events/sec vs baseline {b:,.0f} "
+              f"({ratio:.2%} of baseline)")
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{label} events/sec regressed beyond {threshold:.0%}: "
+                f"{f:,.0f} vs baseline {b:,.0f}")
+
+    loop = fresh["event_loop"]["loop"]
+    loop_ape = loop["allocs"] / loop["events"] if loop["events"] else 0.0
+    print(f"event_loop allocs/event: {loop_ape:.6f}")
+    if loop_ape > MAX_LOOP_ALLOCS_PER_EVENT:
+        failures.append(
+            f"event loop allocates again: {loop_ape:.4f} allocs/event "
+            f"(bound {MAX_LOOP_ALLOCS_PER_EVENT})")
+
+    audit = fresh["fig6"]["audit"]
+    print(f"fig6 audit: ok={audit['ok']} violations={audit['violations']} "
+          f"audits={audit['audits']}")
+    if not audit["ok"]:
+        failures.append(f"invariant audit reported {audit['violations']} violation(s)")
+
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True, help="JSON from a fresh bench_core --quick run")
+    ap.add_argument("--baseline", default="BENCH_core.json",
+                    help="committed baseline file (default: BENCH_core.json)")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional events/sec regression (default 0.20)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        with open(args.baseline) as f:
+            committed = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot read inputs: {e}", file=sys.stderr)
+        return 2
+
+    base = committed.get("quick_reference")
+    if base is None:
+        print("bench_check: baseline file has no 'quick_reference' section", file=sys.stderr)
+        return 2
+    if fresh.get("mode") != base.get("mode"):
+        print(f"bench_check: comparing mode={fresh.get('mode')!r} against "
+              f"baseline mode={base.get('mode')!r} is apples-to-oranges", file=sys.stderr)
+        return 2
+
+    failures = check(fresh, base, args.threshold)
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nOK: within threshold, allocation-free, audit clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,39 +8,7 @@ namespace gcopss {
 CountingBloomFilter::CountingBloomFilter(std::size_t bits, unsigned k)
     : counters_(bits, 0), k_(k) {
   assert(bits > 0 && k > 0);
-}
-
-std::size_t CountingBloomFilter::index(std::uint64_t h, unsigned i) const {
-  // Kirsch–Mitzenmacher double hashing: g_i = h1 + i*h2.
-  const std::uint64_t h1 = h;
-  const std::uint64_t h2 = mix64(h) | 1;  // odd, so it cycles all slots
-  return static_cast<std::size_t>((h1 + i * h2) % counters_.size());
-}
-
-void CountingBloomFilter::add(std::uint64_t nameHash) {
-  for (unsigned i = 0; i < k_; ++i) {
-    auto& c = counters_[index(nameHash, i)];
-    if (c < 0xff) ++c;  // saturate; removal of a saturated counter is a no-op
-  }
-  ++entries_;
-}
-
-void CountingBloomFilter::remove(std::uint64_t nameHash) {
-  // Removing an element that was never added would corrupt cells shared with
-  // present elements (creating false negatives); guard against it.
-  if (!possiblyContains(nameHash)) return;
-  for (unsigned i = 0; i < k_; ++i) {
-    auto& c = counters_[index(nameHash, i)];
-    if (c > 0 && c < 0xff) --c;
-  }
-  if (entries_ > 0) --entries_;
-}
-
-bool CountingBloomFilter::possiblyContains(std::uint64_t nameHash) const {
-  for (unsigned i = 0; i < k_; ++i) {
-    if (counters_[index(nameHash, i)] == 0) return false;
-  }
-  return true;
+  if ((bits & (bits - 1)) == 0) mask_ = bits - 1;
 }
 
 void CountingBloomFilter::clear() {

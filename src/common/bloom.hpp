@@ -25,9 +25,38 @@ class CountingBloomFilter {
   void remove(const Name& name) { remove(name.hash()); }
   bool possiblyContains(const Name& name) const { return possiblyContains(name.hash()); }
 
-  void add(std::uint64_t nameHash);
-  void remove(std::uint64_t nameHash);
-  bool possiblyContains(std::uint64_t nameHash) const;
+  // Hot path: header-inline, with the second hash of the Kirsch–Mitzenmacher
+  // pair hoisted out of the probe loop (index() recomputed it per probe).
+  // Probe positions are bit-identical to the original formulation — they
+  // feed matching decisions, so they are behaviour, not just speed.
+  void add(std::uint64_t nameHash) {
+    const std::uint64_t h2 = mix64(nameHash) | 1;
+    for (unsigned i = 0; i < k_; ++i) {
+      auto& c = counters_[index(nameHash + i * h2)];
+      if (c < 0xff) ++c;  // saturate; removal of a saturated counter is a no-op
+    }
+    ++entries_;
+  }
+
+  void remove(std::uint64_t nameHash) {
+    // Removing an element that was never added would corrupt cells shared
+    // with present elements (creating false negatives); guard against it.
+    if (!possiblyContains(nameHash)) return;
+    const std::uint64_t h2 = mix64(nameHash) | 1;
+    for (unsigned i = 0; i < k_; ++i) {
+      auto& c = counters_[index(nameHash + i * h2)];
+      if (c > 0 && c < 0xff) --c;
+    }
+    if (entries_ > 0) --entries_;
+  }
+
+  bool possiblyContains(std::uint64_t nameHash) const {
+    const std::uint64_t h2 = mix64(nameHash) | 1;
+    for (unsigned i = 0; i < k_; ++i) {
+      if (counters_[index(nameHash + i * h2)] == 0) return false;
+    }
+    return true;
+  }
 
   void clear();
   bool emptyHint() const { return entries_ == 0; }
@@ -39,10 +68,16 @@ class CountingBloomFilter {
   double predictedFalsePositiveRate() const;
 
  private:
-  std::size_t index(std::uint64_t h, unsigned i) const;
+  // Reduce a probe value to a counter index. `x % 2^k == x & (2^k - 1)`, so
+  // for the (default) power-of-two sizes the mask path lands on exactly the
+  // same counters as the modulo — only the division is gone.
+  std::size_t index(std::uint64_t x) const {
+    return static_cast<std::size_t>(mask_ != 0 ? x & mask_ : x % counters_.size());
+  }
 
   std::vector<std::uint8_t> counters_;
   unsigned k_;
+  std::uint64_t mask_ = 0;  // size-1 when size is a power of two, else 0
   std::size_t entries_ = 0;  // adds minus removes (approximate set size)
 };
 

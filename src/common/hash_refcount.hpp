@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace gcopss {
+
+// Open-addressed refcount map over 64-bit hash keys, tuned for the data
+// plane's dominant operation: contains() on a key that is usually present
+// (ST exact-hash checks run once per Bloom hit per face per multicast).
+// Linear probing with a power-of-two table and backward-shift deletion;
+// grows by doubling at 1/2 load. Key 0 is stored out-of-line (a name hash of
+// 0 is possible, if astronomically unlikely) so it can double as the empty
+// slot marker.
+class HashRefcountMap {
+ public:
+  bool contains(std::uint64_t key) const {
+    if (key == 0) return zeroCount_ > 0;
+    if (keys_.empty()) return false;
+    for (std::size_t i = slotFor(key); keys_[i] != 0; i = (i + 1) & mask_) {
+      if (keys_[i] == key) return true;
+    }
+    return false;
+  }
+
+  // Bumps `key`'s refcount, returns the new count.
+  std::uint32_t increment(std::uint64_t key) {
+    if (key == 0) return ++zeroCount_;
+    if (keys_.empty()) {
+      keys_.assign(16, 0);
+      counts_.assign(16, 0);
+      mask_ = 15;
+    }
+    std::size_t i = slotFor(key);
+    for (; keys_[i] != 0; i = (i + 1) & mask_) {
+      if (keys_[i] == key) return ++counts_[i];
+    }
+    if ((++size_) * 2 > keys_.size()) {
+      grow();
+      i = freeSlotFor(key);
+    }
+    keys_[i] = key;
+    counts_[i] = 1;
+    return 1;
+  }
+
+  // Drops `key`'s refcount, erasing it at zero. Returns the new count
+  // (0 for an absent key).
+  std::uint32_t decrement(std::uint64_t key) {
+    if (key == 0) return zeroCount_ > 0 ? --zeroCount_ : 0;
+    if (keys_.empty()) return 0;
+    for (std::size_t i = slotFor(key); keys_[i] != 0; i = (i + 1) & mask_) {
+      if (keys_[i] != key) continue;
+      if (--counts_[i] > 0) return counts_[i];
+      erase(i);
+      --size_;
+      return 0;
+    }
+    return 0;
+  }
+
+  bool empty() const { return size_ == 0 && zeroCount_ == 0; }
+
+ private:
+  std::size_t slotFor(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix64(key)) & mask_;
+  }
+  std::size_t freeSlotFor(std::uint64_t key) const {
+    std::size_t i = slotFor(key);
+    while (keys_[i] != 0) i = (i + 1) & mask_;
+    return i;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> oldKeys = std::move(keys_);
+    std::vector<std::uint32_t> oldCounts = std::move(counts_);
+    keys_.assign(oldKeys.size() * 2, 0);
+    counts_.assign(keys_.size(), 0);
+    mask_ = keys_.size() - 1;
+    for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+      if (oldKeys[i] == 0) continue;
+      const std::size_t s = freeSlotFor(oldKeys[i]);
+      keys_[s] = oldKeys[i];
+      counts_[s] = oldCounts[i];
+    }
+  }
+
+  void erase(std::size_t i) {
+    std::size_t j = i;
+    for (;;) {
+      keys_[i] = 0;
+      for (;;) {
+        j = (j + 1) & mask_;
+        if (keys_[j] == 0) return;
+        const std::size_t home = slotFor(keys_[j]);
+        const bool movable = (j > i) ? (home <= i || home > j) : (home <= i && home > j);
+        if (movable) break;
+      }
+      keys_[i] = keys_[j];
+      counts_[i] = counts_[j];
+      i = j;
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> counts_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t zeroCount_ = 0;
+};
+
+}  // namespace gcopss

@@ -1,11 +1,15 @@
 #include "common/name.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gcopss {
 
 Name Name::parse(std::string_view text) {
   std::vector<std::string> comps;
+  comps.reserve(static_cast<std::size_t>(
+                    std::count(text.begin(), text.end(), '/')) +
+                1);
   std::size_t i = 0;
   if (!text.empty() && text.front() == '/') i = 1;
   std::size_t start = i;
@@ -66,7 +70,7 @@ std::string Name::toString() const {
   return out;
 }
 
-std::uint64_t Name::hash() const {
+std::uint64_t Name::computeHash() const {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const auto& c : components_) {
     h = fnv1a64(c, h);

@@ -56,15 +56,32 @@ class Name {
   }
 
   std::string toString() const;
-  std::uint64_t hash() const;
 
-  friend bool operator==(const Name&, const Name&) = default;
+  // FNV-1a over the components (stable across platforms). Computed once and
+  // cached: names are immutable after construction, and hashing dominates
+  // the ST/Bloom hot path when recomputed per use.
+  std::uint64_t hash() const {
+    if (hash_ == kHashUnset) hash_ = computeHash();
+    return hash_;
+  }
+
+  // Compare components only — the lazily-filled hash cache must not take
+  // part (a defaulted == would compare it and break Name equality).
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.components_ == b.components_;
+  }
   friend std::strong_ordering operator<=>(const Name& a, const Name& b) {
     return a.components_ <=> b.components_;
   }
 
  private:
+  // 0 doubles as "not yet computed": a real FNV value of 0 merely recomputes.
+  static constexpr std::uint64_t kHashUnset = 0;
+
+  std::uint64_t computeHash() const;
+
   std::vector<std::string> components_;
+  mutable std::uint64_t hash_ = kHashUnset;
 };
 
 struct NameHash {

@@ -1,0 +1,75 @@
+#include "common/name_table.hpp"
+
+#include <cassert>
+
+namespace gcopss {
+
+NameTable& NameTable::instance() {
+  static NameTable table;
+  return table;
+}
+
+NameTable::NameTable() {
+  // Entry 0: the root (empty) name. Hash matches Name().hash().
+  entries_.push_back(Entry{kInvalidNameId, 0, 0xcbf29ce484222325ULL, ""});
+  entries_.reserve(1024);
+}
+
+NameId NameTable::child(NameId parent, std::string_view component) {
+  assert(parent < entries_.size());
+  if (auto it = children_.find(ChildProbe{parent, component}); it != children_.end()) {
+    return it->second;
+  }
+  // Incremental hash identical to Name::hash(): fold the component, then "/".
+  const std::uint64_t h = fnv1a64("/", fnv1a64(component, entries_[parent].hash));
+  const NameId id = static_cast<NameId>(entries_.size());
+  entries_.push_back(Entry{parent, entries_[parent].depth + 1, h, std::string(component)});
+  children_.emplace(ChildKey{parent, std::string(component)}, id);
+  return id;
+}
+
+NameId NameTable::intern(const Name& name) {
+  NameId id = kRootNameId;
+  for (const std::string& c : name.components()) id = child(id, c);
+  return id;
+}
+
+NameId NameTable::findChild(NameId parent, std::string_view component) const {
+  if (parent == kInvalidNameId) return kInvalidNameId;
+  const auto it = children_.find(ChildProbe{parent, component});
+  return it == children_.end() ? kInvalidNameId : it->second;
+}
+
+NameId NameTable::find(const Name& name) const {
+  NameId id = kRootNameId;
+  for (const std::string& c : name.components()) {
+    id = findChild(id, c);
+    if (id == kInvalidNameId) return kInvalidNameId;
+  }
+  return id;
+}
+
+NameId NameTable::prefix(NameId id, std::uint32_t n) const {
+  assert(n <= depth(id));
+  while (entries_[id].depth > n) id = entries_[id].parent;
+  return id;
+}
+
+bool NameTable::isPrefixOf(NameId a, NameId b) const {
+  const std::uint32_t da = entries_[a].depth;
+  if (da > entries_[b].depth) return false;
+  while (entries_[b].depth > da) b = entries_[b].parent;
+  return a == b;
+}
+
+Name NameTable::name(NameId id) const {
+  std::vector<std::string> comps(depth(id));
+  for (std::size_t i = comps.size(); i > 0; id = entries_[id].parent) {
+    comps[--i] = entries_[id].component;
+  }
+  return Name(std::move(comps));
+}
+
+std::string NameTable::toString(NameId id) const { return name(id).toString(); }
+
+}  // namespace gcopss

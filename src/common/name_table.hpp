@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/name.hpp"
+
+namespace gcopss {
+
+// Dense id of an interned hierarchical name. Ids are assigned in first-seen
+// order within a run (deterministic for a deterministic workload) and are
+// only meaningful against the process-wide NameTable.
+using NameId = std::uint32_t;
+
+inline constexpr NameId kRootNameId = 0;
+inline constexpr NameId kInvalidNameId = 0xffffffffu;
+
+// Process-wide interner mapping each hierarchical name to a dense NameId
+// with precomputed FNV hash, parent id, and depth. Interning turns the hot
+// prefix operations — isPrefixOf / parent / prefix-hash enumeration for
+// ST Bloom keys / CD-FIB longest-prefix walks — into integer array walks;
+// `Name` stays the boundary/parse type for everything else.
+//
+// The hash stored per entry is bit-identical to Name::hash() of the
+// materialized name, so interned and string-based call sites key the same
+// Bloom filters and dedup maps interchangeably.
+//
+// Entries are never removed: names are tiny, the universe of CDs in a run is
+// bounded (map areas + control names), and stable ids are what make cached
+// NameIds in packets safe. Not thread-safe — the DES core is serial; the
+// multithreaded-DES roadmap item will shard or lock it.
+class NameTable {
+ public:
+  static NameTable& instance();
+
+  NameTable();
+  NameTable(const NameTable&) = delete;
+  NameTable& operator=(const NameTable&) = delete;
+
+  // Intern (find-or-create) and return the id.
+  NameId intern(const Name& name);
+  NameId intern(std::string_view text) { return intern(Name::parse(text)); }
+  // One-step intern of `component` under `parent`.
+  NameId child(NameId parent, std::string_view component);
+
+  // Lookup without interning; kInvalidNameId when absent.
+  NameId find(const Name& name) const;
+  NameId findChild(NameId parent, std::string_view component) const;
+
+  NameId parent(NameId id) const { return entries_[id].parent; }
+  std::uint32_t depth(NameId id) const { return entries_[id].depth; }
+  std::uint64_t hash(NameId id) const { return entries_[id].hash; }
+  // Last component; "" for the root.
+  const std::string& component(NameId id) const { return entries_[id].component; }
+
+  // Ancestor of `id` at depth `n` (n <= depth(id)).
+  NameId prefix(NameId id, std::uint32_t n) const;
+  // True iff `a` names a (non-strict) prefix of `b`: walk b's parent chain.
+  bool isPrefixOf(NameId a, NameId b) const;
+
+  // Materialize back into the boundary type.
+  Name name(NameId id) const;
+  std::string toString(NameId id) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    NameId parent;
+    std::uint32_t depth;
+    std::uint64_t hash;
+    std::string component;
+  };
+
+  // Exact child lookup keyed (parent id, component). Heterogeneous hash/eq
+  // so probes take a string_view without building a std::string.
+  struct ChildKey {
+    NameId parent;
+    std::string component;
+  };
+  struct ChildProbe {
+    NameId parent;
+    std::string_view component;
+  };
+  struct ChildHash {
+    using is_transparent = void;
+    std::size_t operator()(const ChildKey& k) const {
+      return static_cast<std::size_t>(mix64(fnv1a64(k.component) ^ k.parent));
+    }
+    std::size_t operator()(const ChildProbe& k) const {
+      return static_cast<std::size_t>(mix64(fnv1a64(k.component) ^ k.parent));
+    }
+  };
+  struct ChildEq {
+    using is_transparent = void;
+    static std::pair<NameId, std::string_view> view(const ChildKey& k) {
+      return {k.parent, k.component};
+    }
+    static std::pair<NameId, std::string_view> view(const ChildProbe& k) {
+      return {k.parent, k.component};
+    }
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      return view(a) == view(b);
+    }
+  };
+
+  std::vector<Entry> entries_;
+  std::unordered_map<ChildKey, NameId, ChildHash, ChildEq> children_;
+};
+
+}  // namespace gcopss

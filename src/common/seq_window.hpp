@@ -1,0 +1,219 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace gcopss {
+
+// Exact sliding-window membership structures over nonzero 64-bit keys
+// (publication seqs). Semantically identical to the ring + unordered
+// container pairs they replaced — the window holds the last `window`
+// distinct keys, evicting strictly in insertion order — but open-addressed
+// with power-of-two capacity, so the hot lookup is a mix64 + mask instead
+// of libstdc++'s prime-modulo division, and there is no per-node heap churn.
+// Deletion uses backward-shift (no tombstones), keeping probes short for the
+// lifetime of the structure. Key 0 is reserved as the empty marker, matching
+// the rings' existing convention (real seqs start at 1).
+//
+// Storage is lazy and grows geometrically toward the window size: most nodes
+// construct a window they barely touch (leaf routers, idle clients), and the
+// old unordered containers only ever held what was actually inserted.
+
+namespace detail {
+inline std::size_t seqSlotCapacity(std::size_t window) {
+  std::size_t p = 16;
+  while (p < window * 2) p <<= 1;  // load factor <= 1/2
+  return p;
+}
+inline std::size_t seqInitialCapacity(std::size_t window) {
+  const std::size_t cap = seqSlotCapacity(window);
+  return cap < 256 ? cap : 256;
+}
+}  // namespace detail
+
+// Membership-only window: "have I delivered this seq recently?"
+class SeqWindow {
+ public:
+  explicit SeqWindow(std::size_t window = 4096) : window_(window) {}
+
+  // True iff `key` is already in the window; otherwise records it (evicting
+  // the oldest entry once the window is full).
+  bool checkAndInsert(std::uint64_t key) {
+    if (slots_.empty()) {
+      ring_.assign(window_, 0);
+      slots_.assign(detail::seqInitialCapacity(window_), 0);
+      mask_ = slots_.size() - 1;
+    }
+    for (std::size_t i = slotFor(key); slots_[i] != 0; i = (i + 1) & mask_) {
+      if (slots_[i] == key) return true;
+    }
+    const std::uint64_t evicted = ring_[pos_];
+    if (evicted != 0) {
+      erase(evicted);
+      --count_;
+    }
+    if ((++count_) * 2 > slots_.size()) grow();
+    slots_[freeSlotFor(key)] = key;
+    ring_[pos_] = key;
+    pos_ = pos_ + 1 == ring_.size() ? 0 : pos_ + 1;
+    return false;
+  }
+
+  void clear() {
+    std::fill(ring_.begin(), ring_.end(), 0);
+    std::fill(slots_.begin(), slots_.end(), 0);
+    pos_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t slotFor(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix64(key)) & mask_;
+  }
+  std::size_t freeSlotFor(std::uint64_t key) const {
+    std::size_t i = slotFor(key);
+    while (slots_[i] != 0) i = (i + 1) & mask_;
+    return i;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    mask_ = slots_.size() - 1;
+    for (std::uint64_t k : old) {
+      if (k != 0) slots_[freeSlotFor(k)] = k;
+    }
+  }
+
+  void erase(std::uint64_t key) {
+    std::size_t i = slotFor(key);
+    while (slots_[i] != key) i = (i + 1) & mask_;
+    // Backward-shift deletion: pull later entries of the probe chain into
+    // the gap whenever their home slot permits it.
+    std::size_t j = i;
+    for (;;) {
+      slots_[i] = 0;
+      for (;;) {
+        j = (j + 1) & mask_;
+        if (slots_[j] == 0) return;
+        const std::size_t home = slotFor(slots_[j]);
+        const bool movable = (j > i) ? (home <= i || home > j) : (home <= i && home > j);
+        if (movable) break;
+      }
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  std::size_t window_;
+  std::vector<std::uint64_t> ring_;
+  std::size_t pos_ = 0;
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+};
+
+// Window map: seq -> V, find-or-create with insertion-order eviction.
+// Values live in a ring-parallel array — the entry evicted from ring slot
+// `pos_` hands its (capacity-retaining) value object straight to the key
+// replacing it — so the slot table stores only (key, ring index).
+template <typename V>
+class SeqWindowMap {
+ public:
+  explicit SeqWindowMap(std::size_t window = 4096) : window_(window) {}
+
+  // The value for `key`, default-constructed (or recycled empty) on first
+  // sight within the window. The reference is valid until the next at().
+  V& at(std::uint64_t key) {
+    if (keys_.empty()) {
+      ring_.assign(window_, 0);
+      keys_.assign(detail::seqInitialCapacity(window_), 0);
+      idx_.assign(keys_.size(), 0);
+      mask_ = keys_.size() - 1;
+    }
+    for (std::size_t i = slotFor(key); keys_[i] != 0; i = (i + 1) & mask_) {
+      if (keys_[i] == key) return vals_[idx_[i]];
+    }
+    const std::uint64_t evicted = ring_[pos_];
+    if (evicted != 0) {
+      erase(evicted);
+      --count_;
+    }
+    if ((++count_) * 2 > keys_.size()) grow();
+    const std::size_t s = freeSlotFor(key);
+    keys_[s] = key;
+    idx_[s] = static_cast<std::uint32_t>(pos_);
+    if (vals_.size() <= pos_) vals_.resize(pos_ + 1);
+    V& v = vals_[pos_];
+    v.clear();
+    ring_[pos_] = key;
+    pos_ = pos_ + 1 == ring_.size() ? 0 : pos_ + 1;
+    return v;
+  }
+
+  void clear() {
+    std::fill(ring_.begin(), ring_.end(), 0);
+    std::fill(keys_.begin(), keys_.end(), 0);
+    for (auto& v : vals_) v.clear();
+    pos_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t slotFor(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix64(key)) & mask_;
+  }
+  std::size_t freeSlotFor(std::uint64_t key) const {
+    std::size_t i = slotFor(key);
+    while (keys_[i] != 0) i = (i + 1) & mask_;
+    return i;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> oldKeys = std::move(keys_);
+    std::vector<std::uint32_t> oldIdx = std::move(idx_);
+    keys_.assign(oldKeys.size() * 2, 0);
+    idx_.assign(keys_.size(), 0);
+    mask_ = keys_.size() - 1;
+    for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+      if (oldKeys[i] == 0) continue;
+      const std::size_t s = freeSlotFor(oldKeys[i]);
+      keys_[s] = oldKeys[i];
+      idx_[s] = oldIdx[i];
+    }
+  }
+
+  void erase(std::uint64_t key) {
+    std::size_t i = slotFor(key);
+    while (keys_[i] != key) i = (i + 1) & mask_;
+    std::size_t j = i;
+    for (;;) {
+      keys_[i] = 0;
+      for (;;) {
+        j = (j + 1) & mask_;
+        if (keys_[j] == 0) return;
+        const std::size_t home = slotFor(keys_[j]);
+        const bool movable = (j > i) ? (home <= i || home > j) : (home <= i && home > j);
+        if (movable) break;
+      }
+      keys_[i] = keys_[j];
+      idx_[i] = idx_[j];
+      i = j;
+    }
+  }
+
+  std::size_t window_;
+  std::vector<std::uint64_t> ring_;
+  std::size_t pos_ = 0;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> idx_;
+  std::vector<V> vals_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gcopss

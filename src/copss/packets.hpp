@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/name.hpp"
+#include "common/name_table.hpp"
 #include "net/packet.hpp"
 
 namespace gcopss::copss {
@@ -60,11 +61,18 @@ struct MulticastPacket : Packet {
         publisher(publisherIn) {
     // "Hash at the first hop": transit routers match the ST Bloom filters on
     // these pre-computed hashes — one per prefix level of each CD — and never
-    // touch the textual name again.
+    // touch the textual name again. The prefix hashes come from the interner's
+    // parent chain (NameTable hashes are bit-identical to Name::hash()), so no
+    // intermediate prefix Names are materialised.
+    auto& names = NameTable::instance();
     for (const auto& c : cds) {
-      cdHashes.push_back(c.hash());
-      for (std::size_t len = 0; len <= c.size(); ++len) {
-        prefixHashes.push_back(c.prefix(len).hash());
+      const NameId id = names.intern(c);
+      cdHashes.push_back(names.hash(id));
+      const std::size_t base = prefixHashes.size();
+      prefixHashes.resize(base + c.size() + 1);
+      NameId cur = id;
+      for (std::size_t len = c.size() + 1; len-- > 0; cur = names.parent(cur)) {
+        prefixHashes[base + len] = names.hash(cur);
       }
     }
   }

@@ -16,7 +16,7 @@ CopssRouter::CopssRouter(NodeId id, Network& net, Options opts)
                [this](NodeId face, PacketPtr pkt) { send(face, std::move(pkt)); },
                nullptr, nullptr},
            opts.ndn, [this]() { return sim().now(); }),
-      st_(opts.st), balancer_(opts.balance), seqRing_(opts.dedupWindow, 0) {}
+      st_(opts.st), balancer_(opts.balance), sentFaces_(opts.dedupWindow) {}
 
 void CopssRouter::addCdRoute(const Name& prefix, NodeId nextHopFace) {
   cdFib_.insert(prefix, nextHopFace);
@@ -37,6 +37,11 @@ bool CopssRouter::isRpFor(const Name& cd) const {
   return std::find(faces.begin(), faces.end(), ndn::kLocalFace) != faces.end();
 }
 
+bool CopssRouter::isRpFor(NameId cd) const {
+  const auto* faces = cdFib_.lpmFaces(cd);
+  return faces && faces->count(ndn::kLocalFace) > 0;
+}
+
 SimTime CopssRouter::serviceTime(const PacketPtr& pkt) const {
   const SimParams& p = params();
   switch (pkt->kind) {
@@ -44,7 +49,7 @@ SimTime CopssRouter::serviceTime(const PacketPtr& pkt) const {
       const auto& interest = packet_cast<ndn::InterestPacket>(pkt);
       if (interest.encapsulated) {
         if (opts_.ipSpeedCore) return p.ipForwardCost;
-        return isRpFor(interest.name) ? p.rpProcessCost : p.copssForwardCost;
+        return isRpFor(interest.nameId) ? p.rpProcessCost : p.copssForwardCost;
       }
       return opts_.ipSpeedCore ? p.ipForwardCost : p.ndnInterestCost;
     }
@@ -63,7 +68,7 @@ SimTime CopssRouter::serviceTime(const PacketPtr& pkt) const {
 void CopssRouter::handle(NodeId fromFace, const PacketPtr& pkt) {
   switch (pkt->kind) {
     case Packet::Kind::Interest: {
-      auto interest = std::static_pointer_cast<const ndn::InterestPacket>(pkt);
+      auto interest = packet_pointer_cast<ndn::InterestPacket>(pkt);
       if (interest->encapsulated) {
         onEncapInterest(fromFace, interest);
       } else {
@@ -72,7 +77,7 @@ void CopssRouter::handle(NodeId fromFace, const PacketPtr& pkt) {
       return;
     }
     case Packet::Kind::Data:
-      fwd_.onData(fromFace, std::static_pointer_cast<const ndn::DataPacket>(pkt));
+      fwd_.onData(fromFace, packet_pointer_cast<ndn::DataPacket>(pkt));
       return;
     case Packet::Kind::Subscribe:
       onSubscribe(fromFace, packet_cast<SubscribePacket>(pkt));
@@ -122,7 +127,7 @@ void CopssRouter::onMulticast(NodeId fromFace, const PacketPtr& pkt) {
     assert(!mcast.cds.empty());
     auto interest = makePacket<ndn::InterestPacket>(
         mcast.cds.front(), nextNonce_++, ndn::kInterestHeaderBytes + pkt->size, pkt);
-    onEncapInterest(kInvalidNode, std::static_pointer_cast<const ndn::InterestPacket>(interest));
+    onEncapInterest(kInvalidNode, packet_pointer_cast<ndn::InterestPacket>(interest));
     return;
   }
   // Router-to-router multicast, traveling down an ST tree.
@@ -130,18 +135,18 @@ void CopssRouter::onMulticast(NodeId fromFace, const PacketPtr& pkt) {
 }
 
 void CopssRouter::onEncapInterest(NodeId fromFace,
-                                  const std::shared_ptr<const ndn::InterestPacket>& pkt) {
-  const auto faces = cdFib_.lpm(pkt->name);
-  if (faces.empty()) {
+                                  const ndn::InterestPacketPtr& pkt) {
+  const auto* faces = cdFib_.lpmFaces(pkt->nameId);
+  if (!faces) {
     ++unroutable_;
     return;
   }
-  if (std::find(faces.begin(), faces.end(), ndn::kLocalFace) != faces.end()) {
+  if (faces->count(ndn::kLocalFace) > 0) {
     rpDeliver(fromFace, pkt->encapsulated);
     return;
   }
   // Prefix-free assignment: a publication has exactly one RP direction.
-  send(faces.front(), pkt);
+  send(*faces->begin(), pkt);
 }
 
 void CopssRouter::rpDeliver(NodeId arrivalFace, const PacketPtr& multicast) {
@@ -163,18 +168,13 @@ void CopssRouter::rpDeliver(NodeId arrivalFace, const PacketPtr& multicast) {
 }
 
 std::vector<NodeId>& CopssRouter::sentRecord(std::uint64_t seq) {
-  const auto it = sentFaces_.find(seq);
-  if (it != sentFaces_.end()) return it->second;
-  const std::uint64_t evicted = seqRing_[seqRingPos_];
-  if (evicted != 0) sentFaces_.erase(evicted);
-  seqRing_[seqRingPos_] = seq;
-  seqRingPos_ = (seqRingPos_ + 1) % seqRing_.size();
-  return sentFaces_[seq];
+  return sentFaces_.at(seq);
 }
 
 void CopssRouter::stForward(NodeId excludeFace, const PacketPtr& multicast) {
   const auto& mcast = packet_cast<MulticastPacket>(multicast);
-  const auto faces = st_.matchFacesHashed(mcast.cds, mcast.prefixHashes, excludeFace);
+  std::vector<NodeId> faces = std::move(matchScratch_);
+  st_.matchFacesHashedInto(mcast.cds, mcast.prefixHashes, excludeFace, faces);
   auto& sent = sentRecord(mcast.seq);
   // Transient overlapping trees (during migration, or coarse subscriptions
   // spanning multiple RPs) can deliver a seq here more than once; each face
@@ -201,6 +201,7 @@ void CopssRouter::stForward(NodeId excludeFace, const PacketPtr& multicast) {
     send(face, multicast);
     ++multicastsForwarded_;
   }
+  matchScratch_ = std::move(faces);
 }
 
 void CopssRouter::subscribeLocal(const Name& cd) {
@@ -268,7 +269,7 @@ void CopssRouter::forwardScoped(const Name& cd, const Name& scope, bool subscrib
   for (NodeId f : cdFib_.lpm(scope)) {
     if (f == ndn::kLocalFace) return;  // we are the RP for this scope
     if (subscribe) {
-      auto pkt = std::make_shared<SubscribePacket>(cd, scope);
+      auto pkt = makeMutablePacket<SubscribePacket>(cd, scope);
       pkt->resync = resync;
       send(f, PacketPtr(std::move(pkt)));
       sentUpstream_[f].insert({cd, scope});
@@ -432,7 +433,7 @@ void CopssRouter::onFibAdd(NodeId fromFace, const FibAddPacket& pkt) {
   // Continue the flood (routers only; hosts never see FIB control).
   for (NodeId nb : network().topology().neighbors(id())) {
     if (nb != fromFace && !hostFaces_.count(nb)) {
-      send(nb, PacketPtr(std::make_shared<const FibAddPacket>(pkt)));
+      send(nb, clonePacket(pkt));
     }
   }
 
@@ -615,8 +616,6 @@ void CopssRouter::onCrash() {
   sentUpstream_.clear();
   seenFloods_.clear();
   sentFaces_.clear();
-  std::fill(seqRing_.begin(), seqRing_.end(), 0);
-  seqRingPos_ = 0;
 }
 
 void CopssRouter::onRestart() {
@@ -636,7 +635,7 @@ void CopssRouter::onResyncRequest(NodeId fromFace, const ResyncRequestPacket& pk
   const auto it = sentUpstream_.find(fromFace);
   if (it != sentUpstream_.end()) {
     for (const auto& [cd, scope] : it->second) {
-      auto sub = std::make_shared<SubscribePacket>(cd, scope);
+      auto sub = makeMutablePacket<SubscribePacket>(cd, scope);
       sub->resync = true;
       send(fromFace, PacketPtr(std::move(sub)));
       ++subscriptionReplays_;

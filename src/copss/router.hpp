@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/seq_window.hpp"
 #include "copss/balancer.hpp"
 #include "copss/packets.hpp"
 #include "copss/st.hpp"
@@ -50,6 +51,7 @@ class CopssRouter : public Node {
   void removeCdRoute(const Name& prefix, NodeId nextHopFace);
   void becomeRp(const Name& prefix);
   bool isRpFor(const Name& cd) const;
+  bool isRpFor(NameId cd) const;
   const std::set<Name>& rpPrefixes() const { return rpPrefixes_; }
   // Faces leading to end hosts (not flooded with FIB updates).
   void markHostFace(NodeId face) { hostFaces_.insert(face); }
@@ -134,7 +136,7 @@ class CopssRouter : public Node {
   void onSubscribe(NodeId fromFace, const SubscribePacket& pkt);
   void onUnsubscribe(NodeId fromFace, const UnsubscribePacket& pkt);
   void onMulticast(NodeId fromFace, const PacketPtr& pkt);
-  void onEncapInterest(NodeId fromFace, const std::shared_ptr<const ndn::InterestPacket>& pkt);
+  void onEncapInterest(NodeId fromFace, const ndn::InterestPacketPtr& pkt);
   void onFibAdd(NodeId fromFace, const FibAddPacket& pkt);
   void onHandoff(NodeId fromFace, const RpHandoffPacket& pkt);
   void onJoin(NodeId fromFace, const StJoinPacket& pkt);
@@ -196,9 +198,10 @@ class CopssRouter : public Node {
   std::map<std::uint64_t, TxnState> txns_;
   std::unordered_set<std::uint64_t> seenFloods_;
   // seq -> faces already served; ring-evicted.
-  std::unordered_map<std::uint64_t, std::vector<NodeId>> sentFaces_;
-  std::vector<std::uint64_t> seqRing_;
-  std::size_t seqRingPos_ = 0;
+  SeqWindowMap<std::vector<NodeId>> sentFaces_;
+  // Capacity-recycled scratch for stForward's ST match (moved out and back
+  // around the fan-out loop, so reentrant forwards stay correct).
+  std::vector<NodeId> matchScratch_;
   // (cd hash, scope hash) -> downstream refcount for scoped propagation.
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> scopeRefs_;
   // Scoped subscriptions forwarded per upstream face, kept by Name so they

@@ -11,7 +11,7 @@ bool SubscriptionTable::subscribe(NodeId face, const Name& cd) {
   }
   FaceEntry& e = it->second;
   if (++e.exact[cd] == 1) e.bloom.add(cd);
-  ++e.exactHashes[cd.hash()];
+  e.exactHashes.increment(cd.hash());
   // A fresh subscription clears prunes of this CD and of anything below it.
   for (auto pit = e.pruned.begin(); pit != e.pruned.end();) {
     if (cd.isPrefixOf(*pit)) {
@@ -33,8 +33,7 @@ bool SubscriptionTable::unsubscribe(NodeId face, const Name& cd) {
     e.exact.erase(cit);
     e.bloom.remove(cd);
   }
-  const auto hit = e.exactHashes.find(cd.hash());
-  if (hit != e.exactHashes.end() && --hit->second == 0) e.exactHashes.erase(hit);
+  e.exactHashes.decrement(cd.hash());
   if (e.exact.empty()) table_.erase(it);
 
   const auto git = globalRefcount_.find(cd);
@@ -75,10 +74,10 @@ bool SubscriptionTable::faceMatchesHashed(
   for (std::uint64_t h : prefixHashes) {
     if (opts_.useBloom) {
       if (e.bloom.possiblyContains(h)) {
-        if (!e.exactHashes.count(h)) ++bloomFalsePositives_;
+        if (!e.exactHashes.contains(h)) ++bloomFalsePositives_;
         return true;
       }
-    } else if (e.exactHashes.count(h)) {
+    } else if (e.exactHashes.contains(h)) {
       return true;
     }
   }
@@ -99,11 +98,18 @@ std::vector<NodeId> SubscriptionTable::matchFacesHashed(
     const std::vector<Name>& cds, const std::vector<std::uint64_t>& prefixHashes,
     NodeId excludeFace) const {
   std::vector<NodeId> out;
+  matchFacesHashedInto(cds, prefixHashes, excludeFace, out);
+  return out;
+}
+
+void SubscriptionTable::matchFacesHashedInto(const std::vector<Name>& cds,
+                                             const std::vector<std::uint64_t>& prefixHashes,
+                                             NodeId excludeFace, std::vector<NodeId>& out) const {
+  out.clear();
   for (const auto& [face, entry] : table_) {
     if (face == excludeFace) continue;
     if (faceMatchesHashed(entry, cds, prefixHashes)) out.push_back(face);
   }
-  return out;
 }
 
 bool SubscriptionTable::anyMatch(const std::vector<Name>& cds, NodeId excludeFace) const {

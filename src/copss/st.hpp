@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bloom.hpp"
+#include "common/hash_refcount.hpp"
 #include "common/name.hpp"
 #include "net/packet.hpp"
 
@@ -46,6 +47,12 @@ class SubscriptionTable {
   std::vector<NodeId> matchFacesHashed(const std::vector<Name>& cds,
                                        const std::vector<std::uint64_t>& prefixHashes,
                                        NodeId excludeFace = kInvalidNode) const;
+
+  // Allocation-free variant for the per-hop fast path: clears `out` and
+  // fills it with the matching faces, reusing its capacity.
+  void matchFacesHashedInto(const std::vector<Name>& cds,
+                            const std::vector<std::uint64_t>& prefixHashes, NodeId excludeFace,
+                            std::vector<NodeId>& out) const;
 
   // True if any face (excluding `excludeFace`) would match `cds`.
   bool anyMatch(const std::vector<Name>& cds, NodeId excludeFace = kInvalidNode) const;
@@ -100,7 +107,7 @@ class SubscriptionTable {
   struct FaceEntry {
     CountingBloomFilter bloom;
     std::map<Name, std::uint32_t> exact;  // cd -> refcount
-    std::unordered_map<std::uint64_t, std::uint32_t> exactHashes;  // hash -> refcount
+    HashRefcountMap exactHashes;  // hash -> refcount
     std::set<Name> pruned;
 
     FaceEntry(std::size_t bits, unsigned k) : bloom(bits, k) {}

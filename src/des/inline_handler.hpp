@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gcopss {
+
+// Move-only type-erased `void()` callable with inline storage sized for the
+// simulator's hot-path captures (an object pointer, a couple of face ids,
+// a packet pointer). libstdc++'s std::function keeps only 16 bytes inline,
+// so the network layer's ~32-byte capture lambdas heap-allocate on every
+// schedule; here they fit inline and scheduling an event allocates nothing.
+// Larger callables fall back to the heap transparently.
+class InlineHandler {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineHandler() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineHandler> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineHandler(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    construct<D>(std::forward<F>(f));
+  }
+
+  InlineHandler(InlineHandler&& other) noexcept { moveFrom(other); }
+  InlineHandler& operator=(InlineHandler&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  InlineHandler(const InlineHandler&) = delete;
+  InlineHandler& operator=(const InlineHandler&) = delete;
+  ~InlineHandler() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  // Per-erased-type vtable: one static instance per callable type.
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct dst's payload from src's and destroy src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline = sizeof(D) <= kInlineSize &&
+                                      alignof(D) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D, typename F>
+  void construct(F&& f) {
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      static const Ops ops = {
+          [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+          [](void* dst, void* src) {
+            D* s = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+      ops_ = &ops;
+    } else {
+      D* heap = new D(std::forward<F>(f));
+      std::memcpy(buf_, &heap, sizeof(heap));
+      static const Ops ops = {
+          [](void* p) {
+            D* f2;
+            std::memcpy(&f2, p, sizeof(f2));
+            (*f2)();
+          },
+          [](void* dst, void* src) { std::memcpy(dst, src, sizeof(D*)); },
+          [](void* p) {
+            D* f2;
+            std::memcpy(&f2, p, sizeof(f2));
+            delete f2;
+          }};
+      ops_ = &ops;
+    }
+  }
+
+  void moveFrom(InlineHandler& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gcopss

@@ -1,26 +1,20 @@
 #include "des/simulator.hpp"
 
-#include <cassert>
-#include <utility>
-
 namespace gcopss {
-
-void Simulator::scheduleAt(SimTime when, Handler fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, nextSeq_++, std::move(fn)});
-}
 
 std::uint64_t Simulator::run(SimTime until) {
   stopped_ = false;  // a stale stop() must never starve this run (see header)
   std::uint64_t ran = 0;
-  while (!queue_.empty() && !stopped_) {
-    const Event& top = queue_.top();
-    if (top.when > until) break;
-    // Move the handler out before popping so it survives the pop.
-    Handler fn = std::move(const_cast<Event&>(top).fn);
-    now_ = top.when;
-    queue_.pop();
-    fn();
+  while (!stopped_) {
+    Event* top = queue_.peekMin();
+    if (!top || top->when > until) break;
+    queue_.popMin();
+    now_ = top->when;
+    // Invoke in place: the event is already off the queue (a nested run()
+    // cannot re-execute it) and not yet on the free list (handlers that
+    // schedule draw fresh events from the pool, never this storage).
+    top->fn();
+    pool_.release(top);
     ++ran;
     ++executed_;
   }

@@ -41,7 +41,7 @@ void SnapshotBroker::start() {
     ++updatesApplied_;
   };
   ndnEngine().setLocalInterestHook(
-      [this](NodeId, const std::shared_ptr<const ndn::InterestPacket>& interest) {
+      [this](NodeId, const ndn::InterestPacketPtr& interest) {
         onQrInterest(interest);
       });
 }
@@ -51,13 +51,13 @@ Bytes SnapshotBroker::objectBytes(game::ObjectId id) const {
   return b > 0 ? b : bopts_.unchangedObjectBytes;
 }
 
-void SnapshotBroker::onQrInterest(const std::shared_ptr<const ndn::InterestPacket>& interest) {
+void SnapshotBroker::onQrInterest(const ndn::InterestPacketPtr& interest) {
   // /snapshot/<leaf components>/o/<objId>
   const Name& n = interest->name;
   if (n.size() < 3 || n.at(0) != "snapshot" || n.at(n.size() - 2) != "o") return;
   const auto objId = static_cast<game::ObjectId>(std::stoul(n.at(n.size() - 1)));
   ++qrServed_;
-  auto data = std::make_shared<const ndn::DataPacket>(n, objectBytes(objId), sim().now(),
+  auto data = makePacket<ndn::DataPacket>(n, objectBytes(objId), sim().now(),
                                                       objId);
   ndnEngine().putData(data);
 }

@@ -50,7 +50,7 @@ class SnapshotBroker : public copss::CopssRouter {
  private:
   void maybeStartCycle(const Name& leafCd);
   void emitCyclic(const Name& leafCd);
-  void onQrInterest(const std::shared_ptr<const ndn::InterestPacket>& interest);
+  void onQrInterest(const ndn::InterestPacketPtr& interest);
 
   const game::GameMap* map_;
   game::ObjectDatabase db_;  // this broker's snapshot view of its areas

@@ -4,14 +4,13 @@ namespace gcopss::gc {
 
 void GCopssClient::subscribe(const Name& cd) {
   if (!subscriptions_.insert(cd).second) return;
-  ++subscriptionHashes_[cd.hash()];
+  subscriptionHashes_.increment(cd.hash());
   send(edgeFace_, makePacket<copss::SubscribePacket>(cd));
 }
 
 void GCopssClient::unsubscribe(const Name& cd) {
   if (subscriptions_.erase(cd) == 0) return;
-  const auto it = subscriptionHashes_.find(cd.hash());
-  if (it != subscriptionHashes_.end() && --it->second == 0) subscriptionHashes_.erase(it);
+  subscriptionHashes_.decrement(cd.hash());
   send(edgeFace_, makePacket<copss::UnsubscribePacket>(cd));
 }
 
@@ -31,7 +30,7 @@ void GCopssClient::publish(const Name& cd, Bytes payload, std::uint64_t seq,
     send(edgeFace_, makePacket<GameUpdatePacket>(cd, payload, sim().now(), seq, id(), obj));
     return;
   }
-  auto pkt = std::make_shared<GameUpdatePacket>(cd, payload, sim().now(), seq, id(), obj);
+  auto pkt = makeMutablePacket<GameUpdatePacket>(cd, payload, sim().now(), seq, id(), obj);
   pkt->wantAck = true;
   pending_[seq] = PendingPub{cd, payload, obj, sim().now(), 0};
   scheduleRetry(seq, reliable_.ackTimeout);
@@ -51,7 +50,7 @@ void GCopssClient::scheduleRetry(std::uint64_t seq, SimTime delay) {
     ++retransmissions_;
     // Rebuild with the original publish time (true end-to-end latency) and
     // the retx flag (routers re-flood past their seq-suppression records).
-    auto pkt = std::make_shared<GameUpdatePacket>(
+    auto pkt = makeMutablePacket<GameUpdatePacket>(
         it->second.cd, it->second.payload, it->second.publishedAt, seq, id(),
         it->second.obj);
     pkt->wantAck = true;
@@ -76,19 +75,13 @@ bool GCopssClient::matchesSubscription(const copss::MulticastPacket& mcast) cons
   // A subscribed CD matching any prefix level of a carried CD means this
   // publication is in view.
   for (std::uint64_t h : mcast.prefixHashes) {
-    if (subscriptionHashes_.count(h)) return true;
+    if (subscriptionHashes_.contains(h)) return true;
   }
   return false;
 }
 
 bool GCopssClient::seenSeq(std::uint64_t seq) {
-  if (seenSeqs_.count(seq)) return true;
-  const std::uint64_t evicted = seqRing_[seqRingPos_];
-  if (evicted != 0) seenSeqs_.erase(evicted);
-  seqRing_[seqRingPos_] = seq;
-  seqRingPos_ = (seqRingPos_ + 1) % seqRing_.size();
-  seenSeqs_.insert(seq);
-  return false;
+  return seenSeqs_.checkAndInsert(seq);
 }
 
 void GCopssClient::handle(NodeId fromFace, const PacketPtr& pkt) {
@@ -126,7 +119,7 @@ void GCopssClient::handle(NodeId fromFace, const PacketPtr& pkt) {
     }
     case Packet::Kind::Data:
       if (onData_) {
-        onData_(std::static_pointer_cast<const ndn::DataPacket>(pkt), sim().now());
+        onData_(packet_pointer_cast<ndn::DataPacket>(pkt), sim().now());
       }
       return;
     case Packet::Kind::PubAck: {
@@ -139,7 +132,7 @@ void GCopssClient::handle(NodeId fromFace, const PacketPtr& pkt) {
       // everything we subscribe to. The resync flag keeps replays idempotent
       // at routers that did not lose state.
       for (const Name& cd : subscriptions_) {
-        auto sub = std::make_shared<copss::SubscribePacket>(cd);
+        auto sub = makeMutablePacket<copss::SubscribePacket>(cd);
         sub->resync = true;
         send(edgeFace_, PacketPtr(std::move(sub)));
         ++resubscribesSent_;

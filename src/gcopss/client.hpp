@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash_refcount.hpp"
+#include "common/seq_window.hpp"
 #include "copss/packets.hpp"
 #include "game/objects.hpp"
 #include "gcopss/game_packets.hpp"
@@ -23,7 +25,7 @@ class GCopssClient : public Node {
   using MulticastCallback =
       std::function<void(const copss::MulticastPacket&, SimTime now)>;
   using DataCallback =
-      std::function<void(const std::shared_ptr<const ndn::DataPacket>&, SimTime now)>;
+      std::function<void(const ndn::DataPacketPtr&, SimTime now)>;
 
   GCopssClient(NodeId id, Network& net, NodeId edgeFace)
       : Node(id, net), edgeFace_(edgeFace) {}
@@ -98,12 +100,10 @@ class GCopssClient : public Node {
   std::set<Name> subscriptions_;
   // Hashes of subscribed CDs (refcounted): a publication matches iff one of
   // its prefix hashes is subscribed — the same hash-only test routers use.
-  std::unordered_map<std::uint64_t, std::uint32_t> subscriptionHashes_;
+  HashRefcountMap subscriptionHashes_;
   // Bounded duplicate-suppression window (duplicates only occur transiently
   // during RP migration, so a small ring suffices).
-  std::unordered_set<std::uint64_t> seenSeqs_;
-  std::vector<std::uint64_t> seqRing_ = std::vector<std::uint64_t>(4096, 0);
-  std::size_t seqRingPos_ = 0;
+  SeqWindow seenSeqs_{4096};
   MulticastCallback onMulticast_;
   DataCallback onData_;
   // Node-unique nonce space: two consumers pulling the same name must not

@@ -192,7 +192,7 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
     if (cfg.twoStep) {
       // In two-step mode the pulled Data is the delivery.
       client.setDataCallback(
-          [&latency](const std::shared_ptr<const ndn::DataPacket>& d, SimTime now) {
+          [&latency](const ndn::DataPacketPtr& d, SimTime now) {
             latency.record(static_cast<std::size_t>(d->seq - 1), d->createdAt, now);
           });
     }
@@ -273,7 +273,15 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
                  });
   pump.start();
 
+  if (cfg.onWorldReady) {
+    cfg.onWorldReady(GCopssRunConfig::WorldView{net, routers, clients});
+  }
+
   sim.run();
+
+  if (cfg.onRunDrained) {
+    cfg.onRunDrained(GCopssRunConfig::WorldView{net, routers, clients});
+  }
 
   RunSummary out;
   out.label = cfg.hybrid ? "hybrid-G-COPSS" : (cfg.twoStep ? "G-COPSS (two-step)" : "G-COPSS");

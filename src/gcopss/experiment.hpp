@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -13,7 +14,16 @@
 #include "net/params.hpp"
 #include "trace/trace.hpp"
 
+namespace gcopss {
+class Network;
+}
+namespace gcopss::copss {
+class CopssRouter;
+}
+
 namespace gcopss::gc {
+
+class GCopssClient;
 
 enum class TopoKind {
   Bench6,      // the six-router lab topology of Fig. 3b
@@ -86,6 +96,21 @@ struct GCopssRunConfig {
   SimTime warmup = ms(500);
   std::size_t seriesPoints = 60;
   std::size_t cdfPoints = 50;
+
+  // Observability hooks. `onWorldReady` fires once the world is fully wired
+  // (routers, clients, RP assignment, subscriptions scheduled) but before
+  // run(); `onRunDrained` fires after the event queue drains, before
+  // teardown. Lets a caller attach an InvariantChecker or a custom
+  // PacketObserver to the live Network without duplicating the scenario —
+  // this is how bench_core certifies its throughput numbers leak-free
+  // (ROADMAP: "wire the invariant checker into the experiment harness").
+  struct WorldView {
+    Network& net;
+    const std::vector<copss::CopssRouter*>& routers;
+    const std::vector<GCopssClient*>& clients;
+  };
+  std::function<void(const WorldView&)> onWorldReady;
+  std::function<void(const WorldView&)> onRunDrained;
 };
 
 RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,

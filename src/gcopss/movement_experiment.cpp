@@ -176,7 +176,7 @@ MovementSummary runMovementExperiment(const game::GameMap& map,
       };
 
   for (auto* client : clients) {
-    client->setDataCallback([&, client](const std::shared_ptr<const ndn::DataPacket>& data,
+    client->setDataCallback([&, client](const ndn::DataPacketPtr& data,
                                         SimTime) {
       const auto it = active.find(client);
       if (it == active.end()) return;

@@ -2,7 +2,7 @@
 
 namespace gcopss::ndn {
 
-void ContentStore::insert(const std::shared_ptr<const DataPacket>& data, SimTime now) {
+void ContentStore::insert(const DataPacketPtr& data, SimTime now) {
   if (capacity_ == 0) return;
   const auto it = map_.find(data->name);
   if (it != map_.end()) {
@@ -22,7 +22,7 @@ void ContentStore::insert(const std::shared_ptr<const DataPacket>& data, SimTime
   map_.emplace(data->name, Entry{data, now, lru_.begin()});
 }
 
-std::shared_ptr<const DataPacket> ContentStore::find(const Name& name, SimTime now) {
+DataPacketPtr ContentStore::find(const Name& name, SimTime now) {
   const auto it = map_.find(name);
   if (it == map_.end()) {
     ++misses_;

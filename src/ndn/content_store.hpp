@@ -19,10 +19,10 @@ class ContentStore {
   explicit ContentStore(std::size_t capacity = 4096, SimTime freshness = 0)
       : capacity_(capacity), freshness_(freshness) {}
 
-  void insert(const std::shared_ptr<const DataPacket>& data, SimTime now);
+  void insert(const DataPacketPtr& data, SimTime now);
 
   // Exact-name lookup; nullptr on miss or stale entry.
-  std::shared_ptr<const DataPacket> find(const Name& name, SimTime now);
+  DataPacketPtr find(const Name& name, SimTime now);
 
   std::size_t size() const { return map_.size(); }
   std::uint64_t hits() const { return hits_; }
@@ -30,7 +30,7 @@ class ContentStore {
 
  private:
   struct Entry {
-    std::shared_ptr<const DataPacket> data;
+    DataPacketPtr data;
     SimTime insertedAt;
     std::list<Name>::iterator lruIt;
   };

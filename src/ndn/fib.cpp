@@ -5,11 +5,16 @@
 namespace gcopss::ndn {
 
 void Fib::insert(const Name& prefix, NodeId face) {
+  auto& names = NameTable::instance();
   TrieNode* node = &root_;
+  NameId id = kRootNameId;
+  byId_.emplace(id, node);
   for (const auto& comp : prefix.components()) {
     auto& child = node->children[comp];
     if (!child) child = std::make_unique<TrieNode>();
     node = child.get();
+    id = names.child(id, comp);
+    byId_.emplace(id, node);
   }
   if (node->faces.insert(face).second) ++entries_;
 }
@@ -61,6 +66,21 @@ std::vector<NodeId> Fib::lpm(const Name& name) const {
   }
   if (!best) return {};
   return {best->faces.begin(), best->faces.end()};
+}
+
+std::vector<NodeId> Fib::lpm(NameId id) const {
+  const std::set<NodeId>* faces = lpmFaces(id);
+  if (!faces) return {};
+  return {faces->begin(), faces->end()};
+}
+
+const std::set<NodeId>* Fib::lpmFaces(NameId id) const {
+  const auto& names = NameTable::instance();
+  for (NameId cur = id;; cur = names.parent(cur)) {
+    const auto it = byId_.find(cur);
+    if (it != byId_.end() && !it->second->faces.empty()) return &it->second->faces;
+    if (cur == kRootNameId) return nullptr;
+  }
 }
 
 std::vector<NodeId> Fib::exact(const Name& prefix) const {

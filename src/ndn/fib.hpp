@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/name.hpp"
+#include "common/name_table.hpp"
 #include "net/packet.hpp"
 
 namespace gcopss::ndn {
@@ -24,6 +25,16 @@ class Fib {
   // Faces of the longest prefix of `name` that has at least one face.
   // Empty vector if no prefix matches.
   std::vector<NodeId> lpm(const Name& name) const;
+
+  // Data-plane LPM over an interned name: instead of hashing string
+  // components down the trie, walk `id`'s parent chain (deepest first) and
+  // return the first prefix registered here with faces — the same longest
+  // match the string walk produces, in O(depth) integer map probes.
+  std::vector<NodeId> lpm(NameId id) const;
+
+  // Allocation-free variant: the winning entry's face set (iteration order
+  // matches the vector the other overloads return), nullptr if no match.
+  const std::set<NodeId>* lpmFaces(NameId id) const;
 
   // Exact-match faces for a prefix (no LPM); empty if absent.
   std::vector<NodeId> exact(const Name& prefix) const;
@@ -48,6 +59,10 @@ class Fib {
   };
   TrieNode root_;
   std::size_t entries_ = 0;  // number of (prefix,face) pairs
+  // Interned-prefix index over the same nodes, populated on insert. Nodes
+  // are never deallocated (remove only clears face sets), so raw pointers
+  // stay valid for the trie's lifetime.
+  std::unordered_map<NameId, const TrieNode*> byId_;
 
   const TrieNode* find(const Name& prefix) const;
 };

@@ -1,6 +1,7 @@
 #include "ndn/forwarder.hpp"
 
 #include <cassert>
+#include <set>
 
 namespace gcopss::ndn {
 
@@ -10,7 +11,7 @@ void Forwarder::emit(NodeId face, PacketPtr pkt) {
 }
 
 void Forwarder::onInterest(NodeId fromFace,
-                           const std::shared_ptr<const InterestPacket>& interest) {
+                           const InterestPacketPtr& interest) {
   const SimTime now = now_();
 
   // Content Store: a cache hit is answered immediately on the arrival face.
@@ -31,7 +32,9 @@ void Forwarder::onInterest(NodeId fromFace,
       break;
   }
 
-  const auto faces = fib_.lpm(interest->name);
+  static const std::set<NodeId> kNoFaces;
+  const auto* lpmFaces = fib_.lpmFaces(interest->nameId);
+  const auto& faces = lpmFaces ? *lpmFaces : kNoFaces;
   bool forwarded = false;
   for (NodeId face : faces) {
     if (face == fromFace) continue;
@@ -50,7 +53,7 @@ void Forwarder::onInterest(NodeId fromFace,
 }
 
 void Forwarder::onData(NodeId fromFace,
-                       const std::shared_ptr<const DataPacket>& data) {
+                       const DataPacketPtr& data) {
   const SimTime now = now_();
   const auto faces = pit_.consume(data->name, now);
   if (faces.empty()) {

@@ -22,10 +22,10 @@ class Forwarder {
     // Emit a packet on a network face (face is a neighbour NodeId).
     std::function<void(NodeId face, PacketPtr pkt)> sendToFace;
     // An Interest reached this node's local application face.
-    std::function<void(NodeId fromFace, const std::shared_ptr<const InterestPacket>&)>
+    std::function<void(NodeId fromFace, const InterestPacketPtr&)>
         localInterest;
     // A Data packet satisfied a locally expressed Interest.
-    std::function<void(const std::shared_ptr<const DataPacket>&)> localData;
+    std::function<void(const DataPacketPtr&)> localData;
   };
 
   struct Options {
@@ -38,25 +38,25 @@ class Forwarder {
       : hooks_(std::move(hooks)), cs_(opts.csCapacity, opts.csFreshness),
         pit_(opts.pitLifetime), now_(now) {}
 
-  void onInterest(NodeId fromFace, const std::shared_ptr<const InterestPacket>& interest);
-  void onData(NodeId fromFace, const std::shared_ptr<const DataPacket>& data);
+  void onInterest(NodeId fromFace, const InterestPacketPtr& interest);
+  void onData(NodeId fromFace, const DataPacketPtr& data);
 
   // Express an Interest from the local application face.
-  void expressInterest(const std::shared_ptr<const InterestPacket>& interest) {
+  void expressInterest(const InterestPacketPtr& interest) {
     onInterest(kLocalFace, interest);
   }
   // Publish Data from the local application face (satisfies pending PIT).
-  void putData(const std::shared_ptr<const DataPacket>& data) {
+  void putData(const DataPacketPtr& data) {
     onData(kLocalFace, data);
   }
 
   // Attach/replace local application hooks after construction (used by nodes
   // that host an application next to the engine, e.g. a snapshot broker).
   void setLocalInterestHook(
-      std::function<void(NodeId, const std::shared_ptr<const InterestPacket>&)> h) {
+      std::function<void(NodeId, const InterestPacketPtr&)> h) {
     hooks_.localInterest = std::move(h);
   }
-  void setLocalDataHook(std::function<void(const std::shared_ptr<const DataPacket>&)> h) {
+  void setLocalDataHook(std::function<void(const DataPacketPtr&)> h) {
     hooks_.localData = std::move(h);
   }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/name.hpp"
+#include "common/name_table.hpp"
 #include "net/packet.hpp"
 
 namespace gcopss::ndn {
@@ -19,10 +20,14 @@ struct InterestPacket : Packet {
 
   InterestPacket(Name n, std::uint64_t nonceIn, Bytes sz = kInterestHeaderBytes,
                  PacketPtr encap = nullptr)
-      : Packet(kKind, sz), name(std::move(n)), nonce(nonceIn),
+      : Packet(kKind, sz), name(std::move(n)),
+        nameId(NameTable::instance().intern(name)), nonce(nonceIn),
         encapsulated(std::move(encap)) {}
 
   Name name;
+  // Interned at construction: FIB longest-prefix match on the forwarding
+  // path walks ids, never component strings.
+  NameId nameId;
   std::uint64_t nonce;
   // COPSS rides on NDN by encapsulating a Multicast packet inside an
   // Interest addressed toward the RP (Section III-C). Null for plain NDN.
@@ -41,5 +46,8 @@ struct DataPacket : Packet {
   SimTime createdAt;  // publication time, for end-to-end latency accounting
   std::uint64_t seq;
 };
+
+using InterestPacketPtr = RefPtr<const InterestPacket>;
+using DataPacketPtr = RefPtr<const DataPacket>;
 
 }  // namespace gcopss::ndn

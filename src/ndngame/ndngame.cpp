@@ -14,10 +14,10 @@ NdnRouterNode::NdnRouterNode(NodeId id, Network& net, ndn::Forwarder::Options op
 void NdnRouterNode::handle(NodeId fromFace, const PacketPtr& pkt) {
   switch (pkt->kind) {
     case Packet::Kind::Interest:
-      fwd_.onInterest(fromFace, std::static_pointer_cast<const ndn::InterestPacket>(pkt));
+      fwd_.onInterest(fromFace, packet_pointer_cast<ndn::InterestPacket>(pkt));
       return;
     case Packet::Kind::Data:
-      fwd_.onData(fromFace, std::static_pointer_cast<const ndn::DataPacket>(pkt));
+      fwd_.onData(fromFace, packet_pointer_cast<ndn::DataPacket>(pkt));
       return;
     default:
       return;
@@ -63,7 +63,7 @@ void NdnGamePlayer::produceSegment() {
   const Name name = prefixFor(playerIdx_).append("u").append(std::to_string(segSeq_));
   // createdAt carries the segment's production time; per-update latency uses
   // each entry's own publishedAt.
-  auto seg = std::make_shared<const UpdateSegment>(name, payload, sim().now(), segSeq_,
+  auto seg = makePacket<UpdateSegment>(name, payload, sim().now(), segSeq_,
                                                    std::move(pending_));
   pending_.clear();
   segments_[segSeq_] = seg;

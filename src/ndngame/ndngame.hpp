@@ -104,7 +104,7 @@ class NdnGamePlayer : public Node {
   // Producer state.
   std::vector<UpdateEntry> pending_;
   std::uint64_t segSeq_ = 0;
-  std::map<std::uint64_t, std::shared_ptr<const UpdateSegment>> segments_;
+  std::map<std::uint64_t, RefPtr<const UpdateSegment>> segments_;
   std::set<std::uint64_t> waitingInterests_;  // segment seqs requested early
   bool producerTimerRunning_ = false;
 

@@ -105,7 +105,7 @@ void Network::setNodeFailed(NodeId id, bool failed) {
 
 void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
   if (observer_) observer_->onCpuEnqueue(at, fromFace, pkt, sim_.now());
-  if (failed_.count(at)) {
+  if (!failed_.empty() && failed_.count(at)) {
     ++totalDrops_;
     if (observer_) observer_->onDrop(at, pkt, DropReason::NodeFailed, sim_.now());
     return;  // crashed node: blackhole

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "common/units.hpp"
 
@@ -14,6 +16,13 @@ constexpr NodeId kInvalidNode = -1;
 // Base class for every packet in the simulation. A single Kind enum spans all
 // protocol families (NDN, COPSS, IP baseline) so routers can branch on kind
 // without RTTI; `packet_cast` checks the kind before downcasting.
+//
+// Packets are intrusively reference-counted (see RefPtr below): multicast
+// fan-out hands the same immutable payload to every face as a pointer bump,
+// with no control-block allocation and no atomic ops — the DES core is
+// serial (the multithreaded-DES roadmap item will revisit the non-atomic
+// count). The count lives in the object, so a packet must reach a RefPtr
+// straight from `new` (makePacket/makeMutablePacket do this).
 struct Packet {
   enum class Kind : std::uint8_t {
     // NDN engine
@@ -44,14 +53,92 @@ struct Packet {
   Packet(Kind k, Bytes sz) : kind(k), size(sz) {}
   virtual ~Packet() = default;
 
-  Packet(const Packet&) = default;
+  // Copying is for clonePacket() of a derived packet only (the copy starts
+  // a fresh refcount); assignment would desync count and identity, so both
+  // forms are deleted. This replaces the old public-copy/deleted-assign
+  // mix, which let any call site slice-copy a packet by accident.
   Packet& operator=(const Packet&) = delete;
+  Packet& operator=(Packet&&) = delete;
 
   Kind kind;
   Bytes size;
+
+ protected:
+  Packet(const Packet& other) : kind(other.kind), size(other.size) {}
+
+ private:
+  template <typename T>
+  friend class RefPtr;
+
+  mutable std::uint32_t refs_ = 0;
 };
 
-using PacketPtr = std::shared_ptr<const Packet>;
+// Intrusive smart pointer for Packet hierarchies. shared_ptr-shaped API for
+// the subset the codebase uses; copying is one non-atomic increment.
+template <typename T>
+class RefPtr {
+ public:
+  RefPtr() = default;
+  RefPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  // Adopt a freshly new'ed packet (or retain an existing live one).
+  explicit RefPtr(T* p) : p_(p) { retain(); }
+
+  RefPtr(const RefPtr& o) : p_(o.p_) { retain(); }
+  RefPtr(RefPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+  // Converting copy/move (derived -> base, mutable -> const).
+  template <typename U, typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  RefPtr(const RefPtr<U>& o) : p_(o.get()) {  // NOLINT(google-explicit-constructor)
+    retain();
+  }
+  template <typename U, typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  RefPtr(RefPtr<U>&& o) noexcept : p_(o.release()) {}  // NOLINT(google-explicit-constructor)
+
+  RefPtr& operator=(const RefPtr& o) {
+    RefPtr(o).swap(*this);
+    return *this;
+  }
+  RefPtr& operator=(RefPtr&& o) noexcept {
+    RefPtr(std::move(o)).swap(*this);
+    return *this;
+  }
+  RefPtr& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  ~RefPtr() { releaseRef(); }
+
+  T* get() const { return p_; }
+  T& operator*() const { return *p_; }
+  T* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+  void reset() { RefPtr().swap(*this); }
+  void swap(RefPtr& o) noexcept { std::swap(p_, o.p_); }
+
+  // Hand the raw pointer over without touching the count (move plumbing).
+  T* release() noexcept {
+    T* p = p_;
+    p_ = nullptr;
+    return p;
+  }
+
+  friend bool operator==(const RefPtr& a, const RefPtr& b) { return a.p_ == b.p_; }
+  friend bool operator==(const RefPtr& a, std::nullptr_t) { return a.p_ == nullptr; }
+
+ private:
+  void retain() {
+    if (p_) ++p_->refs_;
+  }
+  void releaseRef() {
+    if (p_ && --p_->refs_ == 0) delete p_;
+  }
+
+  T* p_ = nullptr;
+};
+
+using PacketPtr = RefPtr<const Packet>;
 
 template <typename T>
 const T& packet_cast(const PacketPtr& p) {
@@ -59,9 +146,37 @@ const T& packet_cast(const PacketPtr& p) {
   return static_cast<const T&>(*p);
 }
 
+// static_pointer_cast analogue: `packet_pointer_cast<DataPacket>(pkt)`
+// yields RefPtr<const DataPacket>. The caller vouches for the kind (assert
+// via packet_cast where unsure).
+template <typename T, typename U>
+RefPtr<const T> packet_pointer_cast(const RefPtr<U>& p) {
+  return RefPtr<const T>(static_cast<const T*>(p.get()));
+}
+
+// dynamic_pointer_cast analogue for kind-agnostic probing (codecs, tests).
+template <typename T, typename U>
+RefPtr<const T> packet_dynamic_cast(const RefPtr<U>& p) {
+  return RefPtr<const T>(dynamic_cast<const T*>(p.get()));
+}
+
+// Immutable packet, the normal case.
 template <typename T, typename... Args>
-PacketPtr makePacket(Args&&... args) {
-  return std::make_shared<const T>(std::forward<Args>(args)...);
+RefPtr<const T> makePacket(Args&&... args) {
+  return RefPtr<const T>(new T(std::forward<Args>(args)...));
+}
+
+// Mutable packet for build-then-freeze call sites: fill fields, then let it
+// convert to PacketPtr on send.
+template <typename T, typename... Args>
+RefPtr<T> makeMutablePacket(Args&&... args) {
+  return RefPtr<T>(new T(std::forward<Args>(args)...));
+}
+
+// Explicit copy of a (derived) packet with a fresh refcount.
+template <typename T>
+RefPtr<const T> clonePacket(const T& src) {
+  return RefPtr<const T>(new T(src));
 }
 
 }  // namespace gcopss

@@ -19,6 +19,7 @@ NodeId Topology::addNode(std::string label) {
   if (label.empty()) label = "n" + std::to_string(id);
   labels_.push_back(std::move(label));
   adjacency_.emplace_back();
+  adjLinks_.emplace_back();
   return id;
 }
 
@@ -31,6 +32,8 @@ void Topology::addLink(NodeId a, NodeId b, SimTime delay, double bandwidthBps) {
   linkIndex_[key(a, b)] = links_.size() - 1;
   adjacency_[static_cast<std::size_t>(a)].push_back(b);
   adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  adjLinks_[static_cast<std::size_t>(a)].emplace_back(b, links_.size() - 1);
+  adjLinks_[static_cast<std::size_t>(b)].emplace_back(a, links_.size() - 1);
   spf_.clear();
 }
 
@@ -39,9 +42,12 @@ bool Topology::hasLink(NodeId a, NodeId b) const {
 }
 
 const Topology::Link& Topology::linkBetween(NodeId a, NodeId b) const {
-  const auto it = linkIndex_.find(key(a, b));
-  if (it == linkIndex_.end()) throw std::out_of_range("no such link");
-  return links_[it->second];
+  if (a >= 0 && static_cast<std::size_t>(a) < adjLinks_.size()) {
+    for (const auto& [nb, idx] : adjLinks_[static_cast<std::size_t>(a)]) {
+      if (nb == b) return links_[idx];
+    }
+  }
+  throw std::out_of_range("no such link");
 }
 
 const Topology::SpfTree& Topology::spfFrom(NodeId source) const {

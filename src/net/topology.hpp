@@ -57,6 +57,9 @@ class Topology {
   std::vector<std::vector<NodeId>> adjacency_;
   // (a,b) -> index into links_, a < b
   std::unordered_map<std::uint64_t, std::size_t> linkIndex_;
+  // Per-node (neighbor, links_ index): the data-path link lookup is a linear
+  // scan of a node's few adjacent links instead of a hash probe.
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adjLinks_;
   mutable std::unordered_map<NodeId, SpfTree> spf_;
 
   static std::uint64_t key(NodeId a, NodeId b);

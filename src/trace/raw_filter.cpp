@@ -73,8 +73,11 @@ RawCapture synthesizeRawCapture(const RawCaptureConfig& cfg) {
   return out;
 }
 
-FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets) {
+FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets,
+                               FilterDiagnostics* diag) {
   FilteredTrace out;
+  const bool logSummary = diag && diag->level >= FilterLogLevel::Summary;
+  const bool logPairs = diag && diag->level >= FilterLogLevel::PerPair;
 
   // Count packets per address:port over client->server traffic only.
   std::map<std::pair<std::uint32_t, std::uint16_t>, std::size_t> perPair;
@@ -89,7 +92,13 @@ FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets
   // Step (2): established connections only.
   std::set<std::pair<std::uint32_t, std::uint16_t>> keptPairs;
   for (const auto& [pair, count] : perPair) {
-    if (count >= minPackets) keptPairs.insert(pair);
+    if (count >= minPackets) {
+      keptPairs.insert(pair);
+    } else if (logPairs) {
+      diag->lines.push_back("reject " + std::to_string(pair.first) + ":" +
+                            std::to_string(pair.second) + " (" + std::to_string(count) +
+                            " < " + std::to_string(minPackets) + " packets)");
+    }
   }
 
   // Step (3): one player per unique address.
@@ -107,6 +116,16 @@ FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets
       continue;
     }
     out.updates.push_back(p);
+  }
+
+  if (logSummary) {
+    diag->lines.push_back("step1: dropped " + std::to_string(out.droppedServerPackets) +
+                          " server->client packets");
+    diag->lines.push_back("step2: kept " + std::to_string(keptPairs.size()) + "/" +
+                          std::to_string(perPair.size()) + " address:port pairs, dropped " +
+                          std::to_string(out.droppedProbePackets) + " probe packets");
+    diag->lines.push_back("step3: " + std::to_string(out.players.size()) + " players (" +
+                          std::to_string(out.mergedPorts) + " extra ports merged)");
   }
   return out;
 }

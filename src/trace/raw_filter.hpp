@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -57,6 +58,18 @@ struct FilteredTrace {
   std::size_t mergedPorts = 0;             // step (3): extra ports collapsed
 };
 
-FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets = 100);
+// Diagnostics are opt-in and level-gated: the filter sits on the setup path
+// of every trace-driven experiment, so no strings are formatted unless a
+// caller asks for them — Summary emits one line per filter step, PerPair
+// additionally describes each rejected address:port pair.
+enum class FilterLogLevel { Silent = 0, Summary = 1, PerPair = 2 };
+
+struct FilterDiagnostics {
+  FilterLogLevel level = FilterLogLevel::Silent;
+  std::vector<std::string> lines;  // populated only when level > Silent
+};
+
+FilteredTrace filterRawCapture(const RawCapture& capture, std::size_t minPackets = 100,
+                               FilterDiagnostics* diag = nullptr);
 
 }  // namespace gcopss::trace

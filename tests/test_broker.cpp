@@ -90,7 +90,7 @@ TEST(Broker, QrServesCurrentObjectSize) {
   const game::ObjectId obj = w.db.objectsIn(zone).front();
   Bytes got = 0;
   w.clients[1]->setDataCallback(
-      [&](const std::shared_ptr<const ndn::DataPacket>& d, SimTime) {
+      [&](const ndn::DataPacketPtr& d, SimTime) {
         got = d->payloadSize;
       });
   w.sim.scheduleAt(ms(100), [&]() { w.clients[0]->publish(zone, 200, 1, obj); });
@@ -108,7 +108,7 @@ TEST(Broker, QrUnchangedObjectCostsAlmostNothing) {
   const game::ObjectId obj = w.db.objectsIn(zone).front();
   Bytes got = 1;
   w.clients[2]->setDataCallback(
-      [&](const std::shared_ptr<const ndn::DataPacket>& d, SimTime) {
+      [&](const ndn::DataPacketPtr& d, SimTime) {
         got = d->payloadSize;
       });
   w.sim.scheduleAt(ms(100), [&]() {

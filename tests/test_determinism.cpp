@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
 #include "common/hash.hpp"
+#include "des/simulator.hpp"
 #include "net/fault.hpp"
 #include "world_fixture.hpp"
 
@@ -79,6 +85,110 @@ TEST(Determinism, DifferentFaultSeedGivesDifferentTrace) {
   const std::uint64_t a = runChaosTrace(42);
   const std::uint64_t c = runChaosTrace(43);
   EXPECT_NE(a, c) << "the seed must actually steer the fault stream";
+}
+
+// ---------------------------------------------------------------------------
+// Cross-implementation oracle: golden hashes captured under the original
+// binary-heap `priority_queue<Event>` scheduler. Any replacement event
+// engine (calendar queue, event pool, inline handlers, ...) must reproduce
+// both bit-identically — the (when, seq) FIFO-at-equal-timestamp contract is
+// what makes a chaos seed replayable across engine rewrites.
+// ---------------------------------------------------------------------------
+
+// A pseudo-random self-rescheduling workload driven directly on the
+// Simulator. Delays are drawn mod 5, deliberately piling many events onto
+// equal timestamps so FIFO order does the tie-breaking. Each scheduled event
+// is tagged with the id its schedule call had — these functions are the only
+// schedulers, so the tag equals the engine's internal seq — and the
+// execution order of (now, id) pairs is folded into one hash.
+std::uint64_t runEventOrderTrace(std::uint64_t seed, std::uint64_t budgetStart) {
+  Simulator sim;
+  std::uint64_t h = 0x2545f4914f6cdd1dULL ^ seed;
+  std::uint64_t nextId = 0;
+  std::uint64_t budget = budgetStart;
+  std::uint64_t state = mix64(seed | 1);
+
+  std::function<void(std::uint64_t)> fire = [&](std::uint64_t id) {
+    h = mix64(h ^ (static_cast<std::uint64_t>(sim.now()) << 20) ^ id);
+    for (int k = 0; k < 2 && budget > 0; ++k) {
+      --budget;
+      state = mix64(state);
+      const SimTime delay = static_cast<SimTime>(state % 5);
+      const std::uint64_t child = nextId++;
+      sim.schedule(delay, [&fire, child]() { fire(child); });
+    }
+  };
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const std::uint64_t id = nextId++;
+    sim.scheduleAt(0, [&fire, id]() { fire(id); });
+  }
+  sim.run();
+  h = mix64(h ^ sim.totalEventsExecuted());
+  h = mix64(h ^ static_cast<std::uint64_t>(sim.now()));
+  return h;
+}
+
+// The same workload replayed on a reference model: a plain
+// std::priority_queue of (when, seq) with the documented comparator, no
+// handlers or engine at all. Engine-independent ground truth for the pop
+// order — survives any future scheduler rewrite.
+std::uint64_t referenceEventOrderTrace(std::uint64_t seed, std::uint64_t budgetStart) {
+  using WS = std::pair<SimTime, std::uint64_t>;  // (when, seq)
+  const auto later = [](const WS& a, const WS& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<WS, std::vector<WS>, decltype(later)> queue(later);
+
+  std::uint64_t h = 0x2545f4914f6cdd1dULL ^ seed;
+  std::uint64_t nextId = 0;
+  std::uint64_t budget = budgetStart;
+  std::uint64_t state = mix64(seed | 1);
+  std::uint64_t executed = 0;
+  SimTime now = 0;
+
+  for (std::uint64_t i = 0; i < 16; ++i) queue.push({0, nextId++});
+  while (!queue.empty()) {
+    const WS top = queue.top();
+    queue.pop();
+    now = top.first;
+    ++executed;
+    h = mix64(h ^ (static_cast<std::uint64_t>(now) << 20) ^ top.second);
+    for (int k = 0; k < 2 && budget > 0; ++k) {
+      --budget;
+      state = mix64(state);
+      queue.push({now + static_cast<SimTime>(state % 5), nextId++});
+    }
+  }
+  h = mix64(h ^ executed);
+  h = mix64(h ^ static_cast<std::uint64_t>(now));
+  return h;
+}
+
+// Golden values recorded under the heap scheduler (commit c17e077 era).
+constexpr std::uint64_t kGoldenChaos42 = 18070990695764977681ULL;
+constexpr std::uint64_t kGoldenOrder7 = 11829419155451624234ULL;
+constexpr std::uint64_t kOrderBudget = 20000;
+
+TEST(DeterminismGolden, ChaosTraceMatchesHeapSchedulerGolden) {
+  EXPECT_EQ(runChaosTrace(42), kGoldenChaos42)
+      << "the event engine changed observable behaviour: a chaos seed no "
+         "longer replays the trace the heap scheduler produced";
+}
+
+TEST(DeterminismGolden, EventOrderMatchesHeapSchedulerGolden) {
+  EXPECT_EQ(runEventOrderTrace(7, kOrderBudget), kGoldenOrder7)
+      << "(when, seq) execution order diverged from the heap scheduler";
+}
+
+TEST(DeterminismGolden, EventOrderMatchesReferenceModel) {
+  // Oracle of the oracle: the engine against a from-scratch (when, seq)
+  // priority queue, over several seeds.
+  for (std::uint64_t seed : {7ULL, 11ULL, 1234567ULL}) {
+    EXPECT_EQ(runEventOrderTrace(seed, kOrderBudget),
+              referenceEventOrderTrace(seed, kOrderBudget))
+        << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -1,6 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash_refcount.hpp"
 #include "common/name.hpp"
+#include "common/name_table.hpp"
+#include "common/rng.hpp"
+#include "common/seq_window.hpp"
 
 namespace gcopss::test {
 namespace {
@@ -78,6 +87,168 @@ INSTANTIATE_TEST_SUITE_P(Names, NameRoundTrip,
                          ::testing::Values("/", "/1", "/1/2", "/1/", "/1/2/3/4/5",
                                            "/sports/football", "/_", "/1/_",
                                            "/snapshot/1/2/o/17"));
+
+// ---------------------------------------------------------------------------
+// NameTable: the interner must agree with the string-based Name on every
+// observable — same id for equal names, same hash, and the same parent /
+// prefix relations — over a generated name universe.
+// ---------------------------------------------------------------------------
+
+std::vector<Name> nameUniverse() {
+  std::vector<Name> out{Name()};
+  for (const char* s : {"/1", "/2", "/1/1", "/1/2", "/1/2/3", "/1/", "/1/2/",
+                        "/sports", "/sports/football", "/sports/football/fr",
+                        "/snapshot/1/2/o/17", "/_", "/1/_"}) {
+    out.push_back(Name::parse(s));
+  }
+  return out;
+}
+
+TEST(NameTable, InternRoundTripsThroughParse) {
+  auto& table = NameTable::instance();
+  for (const Name& n : nameUniverse()) {
+    const NameId id = table.intern(n);
+    EXPECT_EQ(table.intern(n.toString()), id) << n.toString();
+    EXPECT_EQ(table.name(id), n) << n.toString();
+    EXPECT_EQ(table.toString(id), n.toString());
+    EXPECT_EQ(Name::parse(table.toString(id)), n);
+  }
+}
+
+TEST(NameTable, InterningIsIdempotentAndInjective) {
+  auto& table = NameTable::instance();
+  const auto universe = nameUniverse();
+  std::unordered_map<NameId, Name> seen;
+  for (const Name& n : universe) {
+    const NameId id = table.intern(n);
+    EXPECT_EQ(table.intern(n), id);
+    const auto [it, fresh] = seen.emplace(id, n);
+    if (!fresh) {
+      EXPECT_EQ(it->second, n) << "two names share id " << id;
+    }
+  }
+}
+
+TEST(NameTable, HashMatchesNameHash) {
+  auto& table = NameTable::instance();
+  for (const Name& n : nameUniverse()) {
+    EXPECT_EQ(table.hash(table.intern(n)), n.hash()) << n.toString();
+  }
+}
+
+TEST(NameTable, ParentAndDepthMatchStringPrefixes) {
+  auto& table = NameTable::instance();
+  for (const Name& n : nameUniverse()) {
+    const NameId id = table.intern(n);
+    EXPECT_EQ(table.depth(id), n.size()) << n.toString();
+    if (!n.empty()) {
+      EXPECT_EQ(table.parent(id), table.intern(n.prefix(n.size() - 1))) << n.toString();
+      EXPECT_EQ(table.component(id), n.at(n.size() - 1));
+    }
+    for (std::size_t len = 0; len <= n.size(); ++len) {
+      EXPECT_EQ(table.prefix(id, len), table.intern(n.prefix(len))) << n.toString();
+    }
+  }
+}
+
+TEST(NameTable, IsPrefixOfAgreesWithName) {
+  auto& table = NameTable::instance();
+  const auto universe = nameUniverse();
+  for (const Name& a : universe) {
+    for (const Name& b : universe) {
+      EXPECT_EQ(table.isPrefixOf(table.intern(a), table.intern(b)), a.isPrefixOf(b))
+          << a.toString() << " vs " << b.toString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SeqWindow / SeqWindowMap / HashRefcountMap: randomized equivalence against
+// the reference ring + std container implementations they replaced. These
+// structures sit on dedup paths whose decisions are pinned by the golden
+// chaos trace, so any behavioral drift is a protocol change.
+// ---------------------------------------------------------------------------
+
+TEST(SeqWindow, MatchesRingPlusSetReference) {
+  for (const std::size_t window : {4ul, 64ul, 1024ul}) {
+    SeqWindow win(window);
+    std::unordered_set<std::uint64_t> refSeen;
+    std::vector<std::uint64_t> refRing(window, 0);
+    std::size_t refPos = 0;
+    Rng rng(1234 + window);
+    for (int i = 0; i < 20000; ++i) {
+      // Keyspace ~2x window: plenty of repeats, steady eviction churn.
+      const std::uint64_t seq = 1 + static_cast<std::uint64_t>(
+                                        rng.uniformInt(0, static_cast<std::int64_t>(window) * 2));
+      bool refDup = refSeen.count(seq) > 0;
+      if (!refDup) {
+        const std::uint64_t evicted = refRing[refPos];
+        if (evicted != 0) refSeen.erase(evicted);
+        refRing[refPos] = seq;
+        refPos = (refPos + 1) % refRing.size();
+        refSeen.insert(seq);
+      }
+      ASSERT_EQ(win.checkAndInsert(seq), refDup) << "window=" << window << " step " << i;
+    }
+  }
+}
+
+TEST(SeqWindowMap, MatchesRingPlusMapReference) {
+  const std::size_t window = 128;
+  SeqWindowMap<std::vector<int>> map(window);
+  std::unordered_map<std::uint64_t, std::vector<int>> ref;
+  std::vector<std::uint64_t> refRing(window, 0);
+  std::size_t refPos = 0;
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t seq =
+        1 + static_cast<std::uint64_t>(rng.uniformInt(0, static_cast<std::int64_t>(window) * 3));
+    auto it = ref.find(seq);
+    if (it == ref.end()) {
+      const std::uint64_t evicted = refRing[refPos];
+      if (evicted != 0) ref.erase(evicted);
+      refRing[refPos] = seq;
+      refPos = (refPos + 1) % refRing.size();
+      it = ref.emplace(seq, std::vector<int>{}).first;
+    }
+    auto& val = map.at(seq);
+    ASSERT_EQ(val, it->second) << "step " << i;
+    if (rng.bernoulli(0.5)) {
+      const int face = static_cast<int>(rng.uniformInt(0, 8));
+      val.push_back(face);
+      it->second.push_back(face);
+    }
+  }
+}
+
+TEST(HashRefcountMap, MatchesUnorderedMapReference) {
+  HashRefcountMap map;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  Rng rng(4242);
+  for (int i = 0; i < 20000; ++i) {
+    // Include key 0 in the space: real name hashes can be any value.
+    const auto key = static_cast<std::uint64_t>(rng.uniformInt(0, 300));
+    switch (rng.uniformInt(0, 2)) {
+      case 0:
+        ASSERT_EQ(map.increment(key), ++ref[key]);
+        break;
+      case 1: {
+        std::uint32_t expected = 0;
+        const auto it = ref.find(key);
+        if (it != ref.end()) {
+          expected = --it->second;
+          if (it->second == 0) ref.erase(it);
+        }
+        ASSERT_EQ(map.decrement(key), expected);
+        break;
+      }
+      default:
+        ASSERT_EQ(map.contains(key), ref.count(key) > 0);
+        break;
+    }
+    ASSERT_EQ(map.empty(), ref.empty());
+  }
+}
 
 }  // namespace
 }  // namespace gcopss::test

@@ -112,7 +112,7 @@ TEST(Pit, PurgeExpired) {
 TEST(ContentStore, LruEvictsOldest) {
   ContentStore cs(2);
   auto mk = [](const char* n) {
-    return std::make_shared<const DataPacket>(Name::parse(n), 10, 0, 0);
+    return makePacket<DataPacket>(Name::parse(n), 10, 0, 0);
   };
   cs.insert(mk("/a"), 0);
   cs.insert(mk("/b"), 0);
@@ -125,14 +125,14 @@ TEST(ContentStore, LruEvictsOldest) {
 
 TEST(ContentStore, FreshnessAgesContentOut) {
   ContentStore cs(8, ms(100));
-  cs.insert(std::make_shared<const DataPacket>(Name::parse("/f"), 10, 0, 0), 0);
+  cs.insert(makePacket<DataPacket>(Name::parse("/f"), 10, 0, 0), 0);
   EXPECT_NE(cs.find(Name::parse("/f"), ms(50)), nullptr);
   EXPECT_EQ(cs.find(Name::parse("/f"), ms(200)), nullptr) << "stale entries vanish";
 }
 
 TEST(ContentStore, ZeroCapacityNeverStores) {
   ContentStore cs(0);
-  cs.insert(std::make_shared<const DataPacket>(Name::parse("/x"), 10, 0, 0), 0);
+  cs.insert(makePacket<DataPacket>(Name::parse("/x"), 10, 0, 0), 0);
   EXPECT_EQ(cs.find(Name::parse("/x"), 0), nullptr);
 }
 
@@ -148,7 +148,7 @@ struct ForwarderHarness {
       : fwd(Forwarder::Hooks{
                 [this](NodeId f, PacketPtr p) { sent.emplace_back(f, std::move(p)); },
                 nullptr,
-                [this](const std::shared_ptr<const DataPacket>& d) {
+                [this](const DataPacketPtr& d) {
                   localData.push_back(d->name);
                 }},
             Forwarder::Options{}, [this]() { return now; }) {}
@@ -157,11 +157,11 @@ struct ForwarderHarness {
 TEST(Forwarder, InterestFollowsFibAndDataFollowsPit) {
   ForwarderHarness h;
   h.fwd.fib().insert(Name::parse("/src"), 5);
-  h.fwd.onInterest(1, std::make_shared<const InterestPacket>(Name::parse("/src/x"), 1));
+  h.fwd.onInterest(1, makePacket<InterestPacket>(Name::parse("/src/x"), 1));
   ASSERT_EQ(h.sent.size(), 1u);
   EXPECT_EQ(h.sent[0].first, 5);
 
-  h.fwd.onData(5, std::make_shared<const DataPacket>(Name::parse("/src/x"), 10, 0, 0));
+  h.fwd.onData(5, makePacket<DataPacket>(Name::parse("/src/x"), 10, 0, 0));
   ASSERT_EQ(h.sent.size(), 2u);
   EXPECT_EQ(h.sent[1].first, 1);  // reverse path
 }
@@ -169,11 +169,11 @@ TEST(Forwarder, InterestFollowsFibAndDataFollowsPit) {
 TEST(Forwarder, CacheHitAnswersWithoutForwarding) {
   ForwarderHarness h;
   h.fwd.fib().insert(Name::parse("/src"), 5);
-  h.fwd.onInterest(1, std::make_shared<const InterestPacket>(Name::parse("/src/x"), 1));
-  h.fwd.onData(5, std::make_shared<const DataPacket>(Name::parse("/src/x"), 10, 0, 0));
+  h.fwd.onInterest(1, makePacket<InterestPacket>(Name::parse("/src/x"), 1));
+  h.fwd.onData(5, makePacket<DataPacket>(Name::parse("/src/x"), 10, 0, 0));
   h.sent.clear();
   // Second Interest for the same name: served from the CS on face 2.
-  h.fwd.onInterest(2, std::make_shared<const InterestPacket>(Name::parse("/src/x"), 2));
+  h.fwd.onInterest(2, makePacket<InterestPacket>(Name::parse("/src/x"), 2));
   ASSERT_EQ(h.sent.size(), 1u);
   EXPECT_EQ(h.sent[0].first, 2);
   EXPECT_EQ(h.fwd.contentStore().hits(), 1u);
@@ -181,14 +181,14 @@ TEST(Forwarder, CacheHitAnswersWithoutForwarding) {
 
 TEST(Forwarder, NoRouteCountsDrop) {
   ForwarderHarness h;
-  h.fwd.onInterest(1, std::make_shared<const InterestPacket>(Name::parse("/nowhere"), 1));
+  h.fwd.onInterest(1, makePacket<InterestPacket>(Name::parse("/nowhere"), 1));
   EXPECT_TRUE(h.sent.empty());
   EXPECT_EQ(h.fwd.noRouteDrops(), 1u);
 }
 
 TEST(Forwarder, UnsolicitedDataDropped) {
   ForwarderHarness h;
-  h.fwd.onData(3, std::make_shared<const DataPacket>(Name::parse("/ghost"), 10, 0, 0));
+  h.fwd.onData(3, makePacket<DataPacket>(Name::parse("/ghost"), 10, 0, 0));
   EXPECT_TRUE(h.sent.empty());
   EXPECT_EQ(h.fwd.unsolicitedDataDrops(), 1u);
 }
@@ -196,9 +196,9 @@ TEST(Forwarder, UnsolicitedDataDropped) {
 TEST(Forwarder, LocalExpressAndSatisfy) {
   ForwarderHarness h;
   h.fwd.fib().insert(Name::parse("/p"), 4);
-  h.fwd.expressInterest(std::make_shared<const InterestPacket>(Name::parse("/p/d"), 9));
+  h.fwd.expressInterest(makePacket<InterestPacket>(Name::parse("/p/d"), 9));
   ASSERT_EQ(h.sent.size(), 1u);
-  h.fwd.onData(4, std::make_shared<const DataPacket>(Name::parse("/p/d"), 10, 0, 0));
+  h.fwd.onData(4, makePacket<DataPacket>(Name::parse("/p/d"), 10, 0, 0));
   ASSERT_EQ(h.localData.size(), 1u);
   EXPECT_EQ(h.localData[0], Name::parse("/p/d"));
 }

@@ -15,10 +15,10 @@ class SinkNode : public Node {
   }
   SimTime serviceTime(const PacketPtr&) const override { return service_; }
   void emit(NodeId to, Bytes size) {
-    send(to, std::make_shared<const Packet>(Packet::Kind::IpUnicast, size));
+    send(to, makePacket<Packet>(Packet::Kind::IpUnicast, size));
   }
   void emitAfter(SimTime d, NodeId to, Bytes size) {
-    sendAfter(d, to, std::make_shared<const Packet>(Packet::Kind::IpUnicast, size));
+    sendAfter(d, to, makePacket<Packet>(Packet::Kind::IpUnicast, size));
   }
   void burnCpu(SimTime d) { extendCpuBusy(d); }
 

@@ -88,5 +88,33 @@ TEST(RawFilter, ThresholdIsRespected) {
   }
 }
 
+TEST(RawFilter, DiagnosticsAreLevelGated) {
+  RawCaptureConfig cfg;
+  cfg.realPlayers = 20;
+  cfg.probeAddresses = 50;
+  const auto raw = synthesizeRawCapture(cfg);
+
+  // Silent (and the default nullptr) formats nothing.
+  FilterDiagnostics silent;
+  filterRawCapture(raw, 100, &silent);
+  EXPECT_TRUE(silent.lines.empty());
+
+  // Summary: one line per filter step, and the same filtering result.
+  FilterDiagnostics summary;
+  summary.level = FilterLogLevel::Summary;
+  const auto a = filterRawCapture(raw, 100, &summary);
+  EXPECT_EQ(summary.lines.size(), 3u);
+
+  // PerPair adds one line per rejected address:port pair on top.
+  FilterDiagnostics perPair;
+  perPair.level = FilterLogLevel::PerPair;
+  const auto b = filterRawCapture(raw, 100, &perPair);
+  EXPECT_GT(perPair.lines.size(), summary.lines.size());
+
+  EXPECT_EQ(a.players, b.players);
+  EXPECT_EQ(a.updates.size(), b.updates.size());
+  EXPECT_EQ(a.players, filterRawCapture(raw, 100).players);
+}
+
 }  // namespace
 }  // namespace gcopss::test

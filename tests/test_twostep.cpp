@@ -18,7 +18,7 @@ TEST(TwoStep, AnnouncementTriggersPullAndDelivery) {
 
   std::vector<std::pair<std::uint64_t, Bytes>> got;
   w.clients[2]->setDataCallback(
-      [&](const std::shared_ptr<const ndn::DataPacket>& d, SimTime) {
+      [&](const ndn::DataPacketPtr& d, SimTime) {
         got.emplace_back(d->seq, d->payloadSize);
       });
 
@@ -63,7 +63,7 @@ TEST(TwoStep, ConcurrentPullsAggregateInTheNetwork) {
   std::size_t deliveries = 0;
   for (std::size_t c : {2u, 3u}) {
     w.clients[c]->setDataCallback(
-        [&](const std::shared_ptr<const ndn::DataPacket>&, SimTime) { ++deliveries; });
+        [&](const ndn::DataPacketPtr&, SimTime) { ++deliveries; });
   }
   w.sim->scheduleAt(0, [&]() {
     w.clients[2]->subscribe(Name::parse("/1"));

@@ -15,10 +15,10 @@ namespace {
 using namespace gcopss::wire;
 
 template <typename T>
-std::shared_ptr<const T> roundTrip(const PacketPtr& in) {
+RefPtr<const T> roundTrip(const PacketPtr& in) {
   const auto bytes = encode(in);
   const PacketPtr out = decode(bytes);
-  const auto typed = std::dynamic_pointer_cast<const T>(out);
+  const auto typed = packet_dynamic_cast<T>(out);
   EXPECT_NE(typed, nullptr) << "decoded type mismatch";
   return typed;
 }
@@ -221,7 +221,7 @@ namespace gcopss::test {
 namespace {
 
 TEST(Wire, AnnounceRoundTrips) {
-  const auto out = std::dynamic_pointer_cast<const copss::AnnouncePacket>(
+  const auto out = packet_dynamic_cast<copss::AnnouncePacket>(
       wire::decode(wire::encode(*makePacket<copss::AnnouncePacket>(
           Name::parse("/1/2"), Name::parse("/pub/5/9"), 4096, ms(3), 9, 5))));
   ASSERT_TRUE(out);
