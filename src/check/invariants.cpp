@@ -15,6 +15,7 @@ const char* invariantName(Invariant inv) {
     case Invariant::MigrationDelivery: return "migration-delivery";
     case Invariant::PacketConservation: return "packet-conservation";
     case Invariant::LoopFreedom: return "loop-freedom";
+    case Invariant::EpochMonotonic: return "epoch-monotonic";
   }
   return "?";
 }
@@ -28,6 +29,11 @@ InvariantChecker::InvariantChecker(Network& net,
   for (gc::GCopssClient* c : clients_) {
     clientById_[c->id()] = c;
     baseReceived_[c->id()] = c->received();
+    // Seed the subscription ledger: whatever the client already holds at
+    // attach counts as subscribed-since-forever (always settled).
+    for (const Name& cd : c->subscriptions()) {
+      subLedger_[c->id()][cd].push_back(SubInterval{});
+    }
   }
   baseLinkPackets_ = net_.totalLinkPackets();
   baseDrops_ = net_.totalDrops();
@@ -58,18 +64,63 @@ void InvariantChecker::onWireSend(NodeId from, NodeId to, const PacketPtr& pkt,
                                   SimTime now) {
   (void)to;
   ++wireSends_;
-  if (pkt->kind == Packet::Kind::RpHandoff || pkt->kind == Packet::Kind::FibAdd) {
-    auto& entry = migrationInFlight_[pkt.get()];
-    ++entry.first;
-    if (entry.second.empty()) {
-      entry.second = pkt->kind == Packet::Kind::RpHandoff
-                         ? packet_cast<copss::RpHandoffPacket>(pkt).cds
-                         : packet_cast<copss::FibAddPacket>(pkt).prefixes;
+  switch (pkt->kind) {
+    case Packet::Kind::RpHandoff:
+    case Packet::Kind::FibAdd:
+    case Packet::Kind::RpReclaim:
+    case Packet::Kind::RpDemote: {
+      auto& entry = migrationInFlight_[pkt.get()];
+      ++entry.first;
+      if (entry.second.empty()) {
+        switch (pkt->kind) {
+          case Packet::Kind::RpHandoff:
+            entry.second = packet_cast<copss::RpHandoffPacket>(pkt).cds;
+            break;
+          case Packet::Kind::FibAdd:
+            entry.second = packet_cast<copss::FibAddPacket>(pkt).prefixes;
+            break;
+          case Packet::Kind::RpReclaim:
+            entry.second = packet_cast<copss::RpReclaimPacket>(pkt).prefixes;
+            break;
+          default:
+            entry.second = packet_cast<copss::RpDemotePacket>(pkt).prefixes;
+            break;
+        }
+      }
+      break;
     }
+    default:
+      break;
   }
-  if (!opts_.checkDelivery || pkt->kind != Packet::Kind::Multicast) return;
+  if (!opts_.checkDelivery) return;
+  // Subscription-interval ledger: a client-originated (unscoped, non-resync)
+  // (un)subscribe opens/closes the interval for that (client, CD). Resync
+  // replays re-announce state the ledger already holds; scoped copies are
+  // router-internal fan-out.
+  if (pkt->kind == Packet::Kind::Subscribe && clientById_.count(from)) {
+    const auto& sub = packet_cast<copss::SubscribePacket>(pkt);
+    if (!sub.scoped && !sub.resync) {
+      auto& intervals = subLedger_[from][sub.cd];
+      if (intervals.empty() || intervals.back().to != -1) {
+        intervals.push_back(SubInterval{now, -1});
+      }
+    }
+    return;
+  }
+  if (pkt->kind == Packet::Kind::Unsubscribe && clientById_.count(from)) {
+    const auto& unsub = packet_cast<copss::UnsubscribePacket>(pkt);
+    if (!unsub.scoped) {
+      auto& intervals = subLedger_[from][unsub.cd];
+      if (!intervals.empty() && intervals.back().to == -1) {
+        intervals.back().to = now;
+      }
+    }
+    return;
+  }
+  if (pkt->kind != Packet::Kind::Multicast) return;
   // A Multicast leaving its own publisher's node is a fresh publication (a
-  // retransmission reuses the seq and keeps the original record).
+  // retransmission reuses the seq and keeps the original record). Who is
+  // entitled to it is decided at audit time, from the ledger.
   const auto& mcast = packet_cast<copss::MulticastPacket>(pkt);
   if (mcast.publisher != from || !clientById_.count(from)) return;
   if (pubs_.count(mcast.seq)) return;
@@ -77,19 +128,6 @@ void InvariantChecker::onWireSend(NodeId from, NodeId to, const PacketPtr& pkt,
   rec.cds = mcast.cds;
   rec.publishedAt = now;
   rec.publisher = from;
-  // Entitled audience, snapshotted now: every other client holding a
-  // subscription that is a prefix of (or equal to) a carried CD.
-  for (const gc::GCopssClient* c : clients_) {
-    if (c->id() == from) continue;  // clients drop their own echoes
-    bool matches = false;
-    for (const Name& cd : mcast.cds) {
-      for (std::size_t len = 0; len <= cd.size() && !matches; ++len) {
-        matches = c->subscriptions().count(cd.prefix(len)) > 0;
-      }
-      if (matches) break;
-    }
-    if (matches) rec.entitled.insert(c->id());
-  }
   pubs_.emplace(mcast.seq, std::move(rec));
   ++stats_.publicationsTracked;
 }
@@ -147,7 +185,8 @@ void InvariantChecker::onDrop(NodeId at, const PacketPtr& pkt, DropReason reason
 }
 
 void InvariantChecker::retireMigrationCopy(const PacketPtr& pkt) {
-  if (pkt->kind != Packet::Kind::RpHandoff && pkt->kind != Packet::Kind::FibAdd) {
+  if (pkt->kind != Packet::Kind::RpHandoff && pkt->kind != Packet::Kind::FibAdd &&
+      pkt->kind != Packet::Kind::RpReclaim && pkt->kind != Packet::Kind::RpDemote) {
     return;
   }
   const auto it = migrationInFlight_.find(pkt.get());
@@ -172,6 +211,7 @@ void InvariantChecker::auditNow() {
   if (opts_.checkPrefixFree) auditRpOwnership();
   if (opts_.checkStSoundness) auditStSoundness();
   if (opts_.checkLoopFreedom) auditLoopFreedom();
+  if (opts_.checkEpochs) auditEpochMonotonicity();
   if (opts_.checkConservation) auditConservation(/*strict=*/false);
 }
 
@@ -187,6 +227,7 @@ void InvariantChecker::finalAudit() {
   if (opts_.checkPrefixFree) auditRpOwnership();
   if (opts_.checkStSoundness) auditStSoundness();
   if (opts_.checkLoopFreedom) auditLoopFreedom();
+  if (opts_.checkEpochs) auditEpochMonotonicity();
   if (opts_.checkConservation) auditConservation(/*strict=*/true);
   if (opts_.checkDelivery) auditDelivery();
 }
@@ -206,10 +247,16 @@ void InvariantChecker::auditRpOwnership() {
       const auto& [pj, rj] = claims[j];
       if (ri == rj) continue;  // one router's own set is trivially consistent
       if (pi == pj) {
-        addViolation(Invariant::PrefixFreeRp, ri->id(),
-                     "duplicate RP claim: " + pi.toString() + " claimed by node " +
-                         std::to_string(ri->id()) + " and node " +
-                         std::to_string(rj->id()));
+        // A duplicate claim is the benign in-flight transient while the
+        // control traffic that settles it (takeover flood, reclaim/demote
+        // handshake) is still traveling; with the wire quiet it is the
+        // genuine split-brain.
+        if (!migrationControlInFlightFor(pi)) {
+          addViolation(Invariant::PrefixFreeRp, ri->id(),
+                       "duplicate RP claim: " + pi.toString() + " claimed by node " +
+                           std::to_string(ri->id()) + " and node " +
+                           std::to_string(rj->id()));
+        }
         continue;
       }
       // Nested claims arise legitimately after a balancer split (the old RP
@@ -362,12 +409,72 @@ void InvariantChecker::auditLoopFreedom() {
         cur = rit->second;
       }
     }
-    if (owners.size() > 1) {
+    if (owners.size() > 1 && !migrationControlInFlightFor(probe)) {
       std::string list;
       for (NodeId o : owners) list += (list.empty() ? "" : ",") + std::to_string(o);
       addViolation(Invariant::PrefixFreeRp, kInvalidNode,
                    "divergent RP ownership for " + probe.toString() +
                        ": routers disagree between RPs {" + list + "}");
+    }
+  }
+}
+
+void InvariantChecker::auditEpochMonotonicity() {
+  // Live claims, with the epoch each claimant believes it holds.
+  struct Claim {
+    const Name* prefix;
+    std::uint64_t epoch;
+    copss::CopssRouter* router;
+  };
+  std::vector<Claim> claims;
+  for (copss::CopssRouter* r : routers_) {
+    if (!liveRouter(r)) continue;
+    for (const auto& [prefix, epoch] : r->rpEpochs()) {
+      claims.push_back(Claim{&prefix, epoch, r});
+    }
+  }
+  // Two live routers claiming a prefix at the SAME epoch is a forged or
+  // corrupted claim — epochs are minted monotonically, so this cannot arise
+  // from any legal transition and is never suppressed.
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    for (std::size_t j = i + 1; j < claims.size(); ++j) {
+      if (claims[i].router != claims[j].router &&
+          *claims[i].prefix == *claims[j].prefix &&
+          claims[i].epoch == claims[j].epoch) {
+        addViolation(Invariant::EpochMonotonic, claims[i].router->id(),
+                     "two live claims on " + claims[i].prefix->toString() +
+                         " at the same epoch " + std::to_string(claims[i].epoch) +
+                         " (nodes " + std::to_string(claims[i].router->id()) + ", " +
+                         std::to_string(claims[j].router->id()) + ")");
+      }
+    }
+  }
+  // Regression: a live claim below the high-water mark means a stale owner
+  // re-surfaced. Benign only while the control traffic that demotes it is
+  // still in flight (reclaim/demote handshake, takeover flood).
+  for (const Claim& c : claims) {
+    const auto hw = epochHighWater_.find(*c.prefix);
+    if (hw != epochHighWater_.end() && c.epoch < hw->second &&
+        !migrationControlInFlightFor(*c.prefix)) {
+      addViolation(Invariant::EpochMonotonic, c.router->id(),
+                   "epoch regression on " + c.prefix->toString() + ": node " +
+                       std::to_string(c.router->id()) + " claims epoch " +
+                       std::to_string(c.epoch) + " below the observed high water " +
+                       std::to_string(hw->second));
+    }
+  }
+  // Advance the high water from live claims AND every live router's observed
+  // marks, so a standby's higher-epoch takeover raises the bar even while
+  // the audit never caught the claim itself.
+  for (const Claim& c : claims) {
+    auto& hw = epochHighWater_[*c.prefix];
+    if (c.epoch > hw) hw = c.epoch;
+  }
+  for (copss::CopssRouter* r : routers_) {
+    if (!liveRouter(r)) continue;
+    for (const auto& [prefix, epoch] : r->epochsSeen()) {
+      auto& hw = epochHighWater_[prefix];
+      if (epoch > hw) hw = epoch;
     }
   }
 }
@@ -418,19 +525,47 @@ void InvariantChecker::auditConservation(bool strict) {
   }
 }
 
+// Entitled iff some subscription interval covering a prefix of a carried CD
+// (a) opened at least subscriptionSettle before the publication (the join
+// had time to reach the tree), and (b) stayed open through deliverySettle
+// past it (an unsubscribe racing the delivery waives the demand). Churn can
+// only shrink the demanded set, never create a false violation.
+bool InvariantChecker::entitledAt(NodeId client, const std::vector<Name>& cds,
+                                  SimTime publishedAt) const {
+  const auto lit = subLedger_.find(client);
+  if (lit == subLedger_.end()) return false;
+  for (const Name& cd : cds) {
+    for (std::size_t len = 0; len <= cd.size(); ++len) {
+      const auto iit = lit->second.find(cd.prefix(len));
+      if (iit == lit->second.end()) continue;
+      for (const SubInterval& iv : iit->second) {
+        const bool settledBefore =
+            iv.from == -1 || iv.from + opts_.subscriptionSettle <= publishedAt;
+        const bool heldThrough =
+            iv.to == -1 || iv.to >= publishedAt + opts_.deliverySettle;
+        if (settledBefore && heldThrough) return true;
+      }
+    }
+  }
+  return false;
+}
+
 void InvariantChecker::auditDelivery() {
   const SimTime now = net_.sim().now();
   for (const auto& [seq, rec] : pubs_) {
     if (rec.publishedAt + opts_.deliverySettle > now) continue;  // still settling
-    for (NodeId c : rec.entitled) {
-      if (!rec.delivered.count(c)) {
+    for (const auto& [cid, client] : clientById_) {
+      (void)client;
+      if (cid == rec.publisher) continue;  // clients drop their own echoes
+      if (!entitledAt(cid, rec.cds, rec.publishedAt)) continue;
+      if (!rec.delivered.count(cid)) {
         std::string cds;
         for (const Name& cd : rec.cds) cds += (cds.empty() ? "" : ",") + cd.toString();
-        addViolation(Invariant::MigrationDelivery, c,
+        addViolation(Invariant::MigrationDelivery, cid,
                      "publication seq " + std::to_string(seq) + " to [" + cds +
                          "] from node " + std::to_string(rec.publisher) +
                          " never reached entitled subscriber node " +
-                         std::to_string(c),
+                         std::to_string(cid),
                      {seq});
       }
     }

@@ -26,6 +26,8 @@ enum class Invariant : std::uint8_t {
                        // exactly once, including mid-migration (Section IV-B)
   PacketConservation,  // injected = delivered + dropped(reason) + in-flight
   LoopFreedom,         // CD-FIB walks terminate at a single agreed RP
+  EpochMonotonic,      // ownership epochs never regress, and no two live
+                       // routers claim a prefix at the same epoch
 };
 
 const char* invariantName(Invariant inv);
@@ -78,13 +80,23 @@ class InvariantChecker : public PacketObserver {
     bool checkStSoundness = true;
     bool checkConservation = true;
     bool checkLoopFreedom = true;
-    // Delivery auditing is opt-in: its ground truth (the entitled audience,
-    // snapshotted at publish time) assumes subscriptions have quiesced
-    // before publications start — arrange scenarios accordingly.
+    // Epoch monotonicity across audits (needs >= 2 audits to witness a
+    // regression; the reconciliation-handshake window is suppressed the same
+    // way migration floods are).
+    bool checkEpochs = true;
+    // Delivery auditing is opt-in. The entitled audience is derived from a
+    // per-client subscription-interval ledger fed by the wire-observed
+    // (un)subscribes, so it stays correct under live churn — no quiesce step
+    // required.
     bool checkDelivery = false;
     // A publication must have reached its audience this long after being
     // published for finalAudit() to demand it (in-flight ones are skipped).
     SimTime deliverySettle = ms(200);
+    // A subscription only entitles its client to publications issued at
+    // least this long after the subscribe left the client (the join needs
+    // time to propagate to the RP tree); symmetrically, an unsubscribe
+    // within deliverySettle of a publication waives the delivery demand.
+    SimTime subscriptionSettle = ms(20);
     // Measured Bloom FP rate above this ceiling is a violation (needs at
     // least 100 probes, so tiny probe sets cannot trip it).
     double bloomFpCeiling = 0.05;
@@ -138,20 +150,30 @@ class InvariantChecker : public PacketObserver {
   void auditRpOwnership();
   void auditStSoundness();
   void auditLoopFreedom();
+  void auditEpochMonotonicity();
   void auditConservation(bool strict);
   void auditDelivery();
+  bool entitledAt(NodeId client, const std::vector<Name>& cds,
+                  SimTime publishedAt) const;
   std::vector<Name> probeSet() const;
   bool liveRouter(const copss::CopssRouter* r) const;
   bool migrationControlInFlightFor(const Name& probe) const;
   void retireMigrationCopy(const PacketPtr& pkt);
 
-  // A client-originated publication and the audience entitled to it.
+  // A client-originated publication; the entitled audience is derived at
+  // audit time from the subscription-interval ledger.
   struct PubRecord {
     std::vector<Name> cds;
     SimTime publishedAt = 0;
     NodeId publisher = kInvalidNode;
-    std::set<NodeId> entitled;   // client nodes subscribed at publish time
     std::set<NodeId> delivered;  // client nodes that accepted it
+  };
+
+  // One contiguous span a client was subscribed to a CD. from == -1: already
+  // subscribed when the checker attached (always settled). to == -1: open.
+  struct SubInterval {
+    SimTime from = -1;
+    SimTime to = -1;
   };
 
   Network& net_;
@@ -174,18 +196,27 @@ class InvariantChecker : public PacketObserver {
   std::uint64_t baseLinkPackets_ = 0;
   std::uint64_t baseDrops_ = 0;
 
-  // In-flight RP-migration control packets (RpHandoff / FibAdd) by identity,
-  // with a copy count (a flood sends one packet object to many faces) and the
-  // prefixes they carry. A FIB-walk cycle covered by one of these is the
-  // benign handoff transient, not a routing defect: links are FIFO, so any
-  // data packet chasing the loop edge travels behind the control packet that
-  // rewrites each hop's FIB before the data arrives.
+  // In-flight ownership-control packets (RpHandoff / FibAdd floods, plus the
+  // RpReclaim/RpDemote reconciliation handshake) by identity, with a copy
+  // count (a flood sends one packet object to many faces) and the prefixes
+  // they carry. A FIB-walk cycle, duplicate claim or epoch mismatch covered
+  // by one of these is the benign in-flight transient, not a protocol
+  // defect: links are FIFO and event handling is atomic, so the control
+  // packet settles the disagreement before any audit can observe it again.
   std::map<const Packet*, std::pair<int, std::vector<Name>>> migrationInFlight_;
+
+  // -- epoch audit state --
+  // Highest claim epoch witnessed per prefix across all audits (fed from
+  // live routers' claims and observed high-water marks).
+  std::map<Name, std::uint64_t> epochHighWater_;
 
   // -- delivery ledger --
   std::map<std::uint64_t, PubRecord> pubs_;           // seq -> record
   std::map<NodeId, std::set<std::uint64_t>> accepted_;  // client -> seqs
   std::map<NodeId, std::uint64_t> baseReceived_;  // client received() at attach
+  // Per-(client, CD) subscription intervals, wire-observed; seeded from the
+  // clients' subscription sets at attach.
+  std::map<NodeId, std::map<Name, std::vector<SubInterval>>> subLedger_;
 
   std::vector<Violation> violations_;
   std::uint64_t suppressedViolations_ = 0;

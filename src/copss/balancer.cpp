@@ -15,6 +15,19 @@ void RpLoadBalancer::recordPublication(const Name& cd) {
   }
 }
 
+void RpLoadBalancer::forgetPrefix(const Name& prefix) {
+  std::deque<Name> kept;
+  for (Name& cd : window_) {
+    if (prefix.isPrefixOf(cd)) {
+      const auto it = counts_.find(cd);
+      if (it != counts_.end() && --it->second == 0) counts_.erase(it);
+    } else {
+      kept.push_back(std::move(cd));
+    }
+  }
+  window_ = std::move(kept);
+}
+
 bool RpLoadBalancer::shouldSplit(SimTime backlog, SimTime now) const {
   if (counts_.size() < opts_.minDistinctCds) return false;
   if (backlog < opts_.backlogThreshold) return false;

@@ -28,6 +28,11 @@ class RpLoadBalancer {
 
   void recordPublication(const Name& cd);
 
+  // Purge every windowed CD under `prefix`. Called when the RP loses the
+  // prefix (handoff, demotion, higher-epoch flood): the stale traffic sample
+  // must not keep proposing splits of CDs this RP no longer serves.
+  void forgetPrefix(const Name& prefix);
+
   // True if a split should be initiated given the RP's current backlog.
   bool shouldSplit(SimTime backlog, SimTime now) const;
 

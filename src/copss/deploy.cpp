@@ -78,12 +78,16 @@ void installAssignment(Network& net, const std::vector<NodeId>& routerIds,
   for (NodeId r : routerIds) {
     auto& router = dynamic_cast<CopssRouter&>(net.node(r));
     for (const auto& [prefix, rp] : assignment.prefixToRp) {
+      // The deployed assignment is ownership epoch 1, and every router knows
+      // it (deployment is out-of-band global knowledge): later claims — RP
+      // splits, failover takeovers — must mint epoch >= 2 to win the prefix.
       if (r == rp) {
-        router.becomeRp(prefix);
+        router.becomeRp(prefix, 1);
       } else {
         const NodeId next = topo.nextHop(r, rp);
         if (next == kInvalidNode) throw std::runtime_error("RP unreachable");
         router.addCdRoute(prefix, next);
+        router.observeEpoch(prefix, 1);
       }
     }
   }

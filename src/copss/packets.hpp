@@ -118,7 +118,16 @@ struct FibAddPacket : Packet {
   FibAddPacket(std::vector<Name> p, NodeId originIn, std::uint64_t txn)
       : Packet(kKind, kControlPacketBytes), prefixes(std::move(p)), origin(originIn),
         txnId(txn) {}
+  FibAddPacket(std::vector<Name> p, std::vector<std::uint64_t> e, NodeId originIn,
+               std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), prefixes(std::move(p)),
+        epochs(std::move(e)), origin(originIn), txnId(txn) {}
   std::vector<Name> prefixes;
+  // Ownership epoch per prefix (parallel to `prefixes`). Routers apply an
+  // announcement only when its epoch is >= the highest they have observed for
+  // that prefix, so a stale re-advertisement can never overwrite the FIB.
+  // Empty (or a 0 entry): unstamped legacy announcement, applied verbatim.
+  std::vector<std::uint64_t> epochs;
   NodeId origin;
   std::uint64_t txnId;  // also the flood-suppression key
 };
@@ -143,7 +152,15 @@ struct RpHandoffPacket : Packet {
   RpHandoffPacket(std::vector<Name> c, NodeId oldRpIn, NodeId newRpIn, std::uint64_t txn)
       : Packet(kKind, kControlPacketBytes), cds(std::move(c)), oldRp(oldRpIn),
         newRp(newRpIn), txnId(txn) {}
+  RpHandoffPacket(std::vector<Name> c, std::vector<std::uint64_t> e, NodeId oldRpIn,
+                  NodeId newRpIn, std::uint64_t txn)
+      : Packet(kKind, kControlPacketBytes), cds(std::move(c)), epochs(std::move(e)),
+        oldRp(oldRpIn), newRp(newRpIn), txnId(txn) {}
   std::vector<Name> cds;
+  // Epoch at which the new RP will claim each CD (parallel to `cds`): the old
+  // owner's epoch + 1, minted by the resigning RP so transit routers and the
+  // new RP agree on the successor epoch before the FIB flood goes out.
+  std::vector<std::uint64_t> epochs;
   NodeId oldRp;
   NodeId newRp;
   std::uint64_t txnId;
@@ -194,9 +211,17 @@ struct RpHeartbeatPacket : Packet {
   RpHeartbeatPacket(NodeId rpIn, NodeId standbyIn, std::vector<Name> p)
       : Packet(kKind, kControlPacketBytes), rp(rpIn), standby(standbyIn),
         prefixes(std::move(p)) {}
+  RpHeartbeatPacket(NodeId rpIn, NodeId standbyIn, std::vector<Name> p,
+                    std::vector<std::uint64_t> e)
+      : Packet(kKind, kControlPacketBytes), rp(rpIn), standby(standbyIn),
+        prefixes(std::move(p)), epochs(std::move(e)) {}
   NodeId rp;
   NodeId standby;
   std::vector<Name> prefixes;
+  // The RP's claim epoch per prefix (parallel to `prefixes`): the standby
+  // assumes the role at epoch + 1, so its takeover flood outranks any later
+  // re-advertisement by the crashed primary.
+  std::vector<std::uint64_t> epochs;
 };
 
 // Restarted router -> every neighbour: "my Subscription Table is gone —
@@ -208,6 +233,38 @@ struct ResyncRequestPacket : Packet {
   explicit ResyncRequestPacket(NodeId originIn)
       : Packet(kKind, kControlPacketBytes), origin(originIn) {}
   NodeId origin;
+};
+
+// --- epoch reconciliation (restart-time RP ownership handshake) ---
+
+// Restarted RP -> every neighbour: "my persisted config says I own these
+// prefixes at these epochs — is that still true?" A neighbour that has
+// observed a higher epoch for a prefix (a standby assumed the role while the
+// claimant was down) answers with an RpDemote naming the stale subset; one
+// that hasn't stays silent and the claim stands. Without this handshake a
+// restarted RP silently re-advertises and the network splits-brain.
+struct RpReclaimPacket : Packet {
+  static constexpr Kind kKind = Kind::RpReclaim;
+  RpReclaimPacket(NodeId originIn, std::vector<Name> p, std::vector<std::uint64_t> e)
+      : Packet(kKind, kControlPacketBytes), origin(originIn), prefixes(std::move(p)),
+        epochs(std::move(e)) {}
+  NodeId origin;
+  std::vector<Name> prefixes;
+  std::vector<std::uint64_t> epochs;  // the claimant's epoch per prefix
+};
+
+// Neighbour -> restarted RP: the listed prefixes are owned elsewhere at the
+// listed (higher) epochs. The receiver retires its claim, points its FIB at
+// the demoting neighbour (whose own FIB follows the newer announcement) and
+// rejoins the tree as a plain subscriber of its old prefix.
+struct RpDemotePacket : Packet {
+  static constexpr Kind kKind = Kind::RpDemote;
+  RpDemotePacket(NodeId originIn, std::vector<Name> p, std::vector<std::uint64_t> e)
+      : Packet(kKind, kControlPacketBytes), origin(originIn), prefixes(std::move(p)),
+        epochs(std::move(e)) {}
+  NodeId origin;
+  std::vector<Name> prefixes;
+  std::vector<std::uint64_t> epochs;  // highest epoch the sender has observed
 };
 
 }  // namespace gcopss::copss

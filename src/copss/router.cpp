@@ -27,9 +27,47 @@ void CopssRouter::removeCdRoute(const Name& prefix, NodeId nextHopFace) {
 }
 
 void CopssRouter::becomeRp(const Name& prefix) {
+  becomeRp(prefix, nextEpochFor(prefix));
+}
+
+void CopssRouter::becomeRp(const Name& prefix, std::uint64_t epoch) {
   cdFib_.removePrefix(prefix);
   cdFib_.insert(prefix, ndn::kLocalFace);
   rpPrefixes_.insert(prefix);
+  rpEpochs_[prefix] = epoch;
+  observeEpoch(prefix, epoch);
+}
+
+std::uint64_t CopssRouter::claimEpoch(const Name& prefix) const {
+  const auto it = rpEpochs_.find(prefix);
+  return it == rpEpochs_.end() ? 0 : it->second;
+}
+
+std::uint64_t CopssRouter::epochSeen(const Name& prefix) const {
+  const auto it = epochSeen_.find(prefix);
+  return it == epochSeen_.end() ? 0 : it->second;
+}
+
+void CopssRouter::observeEpoch(const Name& prefix, std::uint64_t epoch) {
+  if (epoch == 0) return;  // unstamped legacy traffic carries no information
+  auto& seen = epochSeen_[prefix];
+  if (epoch > seen) seen = epoch;
+}
+
+std::uint64_t CopssRouter::nextEpochFor(const Name& prefix) const {
+  return std::max(epochSeen(prefix), claimEpoch(prefix)) + 1;
+}
+
+void CopssRouter::retireClaim(const Name& prefix, NodeId towardFace,
+                              bool rejoinAsSubscriber) {
+  rpPrefixes_.erase(prefix);
+  rpEpochs_.erase(prefix);
+  cdFib_.removePrefix(prefix);
+  if (towardFace != kInvalidNode && towardFace != ndn::kLocalFace) {
+    cdFib_.insert(prefix, towardFace);
+  }
+  balancer_.forgetPrefix(prefix);
+  if (rejoinAsSubscriber) subscribeLocal(prefix);
 }
 
 bool CopssRouter::isRpFor(const Name& cd) const {
@@ -111,6 +149,12 @@ void CopssRouter::handle(NodeId fromFace, const PacketPtr& pkt) {
       return;
     case Packet::Kind::StResync:
       onResyncRequest(fromFace, packet_cast<ResyncRequestPacket>(pkt));
+      return;
+    case Packet::Kind::RpReclaim:
+      onReclaim(fromFace, packet_cast<RpReclaimPacket>(pkt));
+      return;
+    case Packet::Kind::RpDemote:
+      onDemote(fromFace, packet_cast<RpDemotePacket>(pkt));
       return;
     default:
       return;  // IP packets never reach a COPSS router in these experiments
@@ -298,18 +342,25 @@ bool CopssRouter::forceSplit() {
 }
 
 void CopssRouter::assumeRp(const std::vector<Name>& prefixes) {
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(prefixes.size());
+  for (const Name& p : prefixes) epochs.push_back(nextEpochFor(p));
+  assumeRp(prefixes, epochs);
+}
+
+void CopssRouter::assumeRp(const std::vector<Name>& prefixes,
+                           const std::vector<std::uint64_t>& claimEpochs) {
+  assert(claimEpochs.size() == prefixes.size());
   const std::uint64_t txnId = nextMigrationTxnId();
   TxnState& t = txn(txnId);
   t.cds = prefixes;
   t.isOrigin = true;
   t.confirmed = true;
-  for (const Name& p : prefixes) {
-    cdFib_.removePrefix(p);
-    cdFib_.insert(p, ndn::kLocalFace);
-    rpPrefixes_.insert(p);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    becomeRp(prefixes[i], claimEpochs[i]);
   }
   seenFloods_.insert(txnId);
-  const auto pktOut = makePacket<FibAddPacket>(prefixes, id(), txnId);
+  const auto pktOut = makePacket<FibAddPacket>(prefixes, claimEpochs, id(), txnId);
   for (NodeId nb : network().topology().neighbors(id())) {
     if (!hostFaces_.count(nb)) send(nb, pktOut);
   }
@@ -346,11 +397,20 @@ void CopssRouter::initiateSplit(NodeId newRp, std::vector<Name> cds) {
   assert(towardNew != kInvalidNode);
 
   // Phase 1: resign as RP for the moved CDs; future publications that still
-  // reach us are relayed to the new RP via the FIB.
+  // reach us are relayed to the new RP via the FIB. The resigning owner mints
+  // the successor epoch for each CD so the new RP's claim (and its FIB flood)
+  // outranks every announcement from this ownership generation.
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(cds.size());
   for (const Name& cd : cds) {
+    const std::uint64_t successor = nextEpochFor(cd);
+    epochs.push_back(successor);
+    observeEpoch(cd, successor);
     rpPrefixes_.erase(cd);
+    rpEpochs_.erase(cd);
     cdFib_.removePrefix(cd);
     cdFib_.insert(cd, towardNew);
+    balancer_.forgetPrefix(cd);
   }
 
   // We remain the root of the old subscriber tree, fed by the new RP through
@@ -363,28 +423,33 @@ void CopssRouter::initiateSplit(NodeId newRp, std::vector<Name> cds) {
   t.confirmed = true;
   t.leftOld = true;
 
-  send(towardNew, makePacket<RpHandoffPacket>(cds, id(), newRp, txnId));
+  send(towardNew, makePacket<RpHandoffPacket>(cds, epochs, id(), newRp, txnId));
   if (onRpSplit) onRpSplit(newRp, cds);
 }
 
 void CopssRouter::onHandoff(NodeId fromFace, const RpHandoffPacket& pkt) {
   if (pkt.newRp == id()) {
     // Phase 2 endpoint: become the RP, keep the old RP's tree alive through
-    // a relay ST entry pointing back along the handoff path.
+    // a relay ST entry pointing back along the handoff path. Claims land at
+    // the successor epochs minted by the resigning owner (legacy unstamped
+    // handoffs fall back to locally-derived epochs).
     TxnState& t = txn(pkt.txnId);
     t.cds = pkt.cds;
     t.isOrigin = true;
     t.confirmed = true;
     t.newDownstream.insert(fromFace);
-    for (const Name& cd : pkt.cds) {
-      cdFib_.removePrefix(cd);
-      cdFib_.insert(cd, ndn::kLocalFace);
-      rpPrefixes_.insert(cd);
+    std::vector<std::uint64_t> epochs;
+    epochs.reserve(pkt.cds.size());
+    for (std::size_t i = 0; i < pkt.cds.size(); ++i) {
+      const Name& cd = pkt.cds[i];
+      const std::uint64_t minted = i < pkt.epochs.size() ? pkt.epochs[i] : 0;
+      becomeRp(cd, minted != 0 ? minted : nextEpochFor(cd));
+      epochs.push_back(claimEpoch(cd));
       st_.subscribe(fromFace, cd);  // relay toward the old RP's tree
     }
     // Phase 3: announce ourselves network-wide.
     seenFloods_.insert(pkt.txnId);
-    const auto pktOut = makePacket<FibAddPacket>(pkt.cds, id(), pkt.txnId);
+    const auto pktOut = makePacket<FibAddPacket>(pkt.cds, epochs, id(), pkt.txnId);
     for (NodeId nb : network().topology().neighbors(id())) {
       if (!hostFaces_.count(nb)) send(nb, pktOut);
     }
@@ -394,7 +459,9 @@ void CopssRouter::onHandoff(NodeId fromFace, const RpHandoffPacket& pkt) {
   // and install the reverse relay ST entry toward the old RP.
   const NodeId next = network().topology().nextHop(id(), pkt.newRp);
   assert(next != kInvalidNode);
-  for (const Name& cd : pkt.cds) {
+  for (std::size_t i = 0; i < pkt.cds.size(); ++i) {
+    const Name& cd = pkt.cds[i];
+    if (i < pkt.epochs.size()) observeEpoch(cd, pkt.epochs[i]);
     cdFib_.removePrefix(cd);
     cdFib_.insert(cd, next);
     st_.subscribe(fromFace, cd);
@@ -402,7 +469,8 @@ void CopssRouter::onHandoff(NodeId fromFace, const RpHandoffPacket& pkt) {
   TxnState& t = txn(pkt.txnId);
   t.cds = pkt.cds;
   t.newUpstream = next;
-  send(next, makePacket<RpHandoffPacket>(pkt.cds, pkt.oldRp, pkt.newRp, pkt.txnId));
+  send(next, makePacket<RpHandoffPacket>(pkt.cds, pkt.epochs, pkt.oldRp, pkt.newRp,
+                                         pkt.txnId));
 }
 
 void CopssRouter::onFibAdd(NodeId fromFace, const FibAddPacket& pkt) {
@@ -424,11 +492,29 @@ void CopssRouter::onFibAdd(NodeId fromFace, const FibAddPacket& pkt) {
       }
     }
   }
-  for (const Name& cd : pkt.prefixes) {
+  bool anyApplied = false;
+  for (std::size_t i = 0; i < pkt.prefixes.size(); ++i) {
+    const Name& cd = pkt.prefixes[i];
+    const std::uint64_t epoch = i < pkt.epochs.size() ? pkt.epochs[i] : 0;
+    if (epoch != 0 && epoch < epochSeen(cd)) {
+      // Stale announcement: a higher-epoch owner already claimed this prefix
+      // (e.g. a crashed primary re-advertising after its standby took over).
+      // The FIB keeps following the newer claim; the flood still continues
+      // below so the txn's duplicate suppression stays network-wide.
+      ++staleAnnouncementsIgnored_;
+      continue;
+    }
+    observeEpoch(cd, epoch);
+    if (epoch != 0 && claimEpoch(cd) != 0 && claimEpoch(cd) < epoch) {
+      // Our own claim lost: atomically retire it (FIB + balancer window)
+      // before installing the winner's direction.
+      retireClaim(cd, fromFace, /*rejoinAsSubscriber=*/false);
+    }
     cdFib_.removePrefix(cd);
     cdFib_.insert(cd, fromFace);
+    anyApplied = true;
   }
-  t.newUpstream = fromFace;
+  if (anyApplied) t.newUpstream = fromFace;
 
   // Continue the flood (routers only; hosts never see FIB control).
   for (NodeId nb : network().topology().neighbors(id())) {
@@ -439,7 +525,7 @@ void CopssRouter::onFibAdd(NodeId fromFace, const FibAddPacket& pkt) {
 
   // Pending-ST join: if any downstream interest intersects the moved CDs,
   // graft ourselves onto the new tree before abandoning the old one.
-  if (!t.joinSent && !t.confirmed && !t.isOrigin) {
+  if (anyApplied && !t.joinSent && !t.confirmed && !t.isOrigin) {
     bool interested = false;
     for (const Name& cd : pkt.prefixes) {
       if (st_.hasIntersectingSubscription(cd)) {
@@ -458,7 +544,13 @@ void CopssRouter::onJoin(NodeId fromFace, const StJoinPacket& pkt) {
   TxnState& t = txn(pkt.txnId);
   if (t.cds.empty()) t.cds = pkt.cds;
 
-  if (t.confirmed || t.isOrigin) {
+  // An RP is trivially the root of its own tree, even with no transaction
+  // state: a crash wiped txns_, and the joins our resync request made the
+  // downstream routers replay must graft here, not wedge as pending.
+  bool atRoot = !t.cds.empty();
+  for (const Name& cd : t.cds) atRoot = atRoot && isRpFor(cd);
+
+  if (t.confirmed || t.isOrigin || atRoot) {
     // Case 2 of the paper: already in the tree — graft and confirm.
     for (const Name& cd : t.cds) {
       if (!st_.faceSubscribed(fromFace, cd)) st_.subscribe(fromFace, cd);
@@ -547,6 +639,10 @@ void CopssRouter::onHeartbeat(NodeId fromFace, const PacketPtr& pkt) {
     if (hb.rp == watchedRp_ && !failedOver_) {
       lastHeartbeatAt_ = sim().now();
       watchedPrefixes_ = hb.prefixes;
+      watchedEpochs_ = hb.epochs;
+      for (std::size_t i = 0; i < hb.prefixes.size() && i < hb.epochs.size(); ++i) {
+        observeEpoch(hb.prefixes[i], hb.epochs[i]);
+      }
     }
     return;
   }
@@ -564,19 +660,25 @@ void CopssRouter::startRpHeartbeats(NodeId standby, SimTime interval, SimTime un
 
 void CopssRouter::heartbeatTick() {
   if (hbStandby_ == kInvalidNode) return;
-  // A crashed RP beacons nothing (its CPU is dead) but the tick keeps
-  // running, so beacons resume by themselves after a restart.
+  // A crash cancels the tick chain (generation bump in onCrash); onRestart
+  // re-arms it, so a restarted RP never beacons pre-crash state.
   if (!network().isFailed(id()) && !rpPrefixes_.empty()) {
     const NodeId nh = network().topology().nextHop(id(), hbStandby_);
     if (nh != kInvalidNode) {
-      send(nh, makePacket<RpHeartbeatPacket>(
-                   id(), hbStandby_,
-                   std::vector<Name>(rpPrefixes_.begin(), rpPrefixes_.end())));
+      std::vector<Name> prefixes(rpPrefixes_.begin(), rpPrefixes_.end());
+      std::vector<std::uint64_t> epochs;
+      epochs.reserve(prefixes.size());
+      for (const Name& p : prefixes) epochs.push_back(claimEpoch(p));
+      send(nh, makePacket<RpHeartbeatPacket>(id(), hbStandby_, std::move(prefixes),
+                                             std::move(epochs)));
       ++heartbeatsSent_;
     }
   }
   if (sim().now() + hbInterval_ <= hbUntil_) {
-    sim().schedule(hbInterval_, [this]() { heartbeatTick(); });
+    const std::uint64_t gen = hbGen_;
+    sim().schedule(hbInterval_, [this, gen]() {
+      if (gen == hbGen_) heartbeatTick();
+    });
   }
 }
 
@@ -599,11 +701,23 @@ void CopssRouter::watchTick() {
     failedOver_ = true;
     ++failovers_;
     lastFailoverAt_ = sim().now();
-    assumeRp(watchedPrefixes_);
+    // Claim one past the dead primary's beaconed epochs (and past anything
+    // else observed), so the takeover flood outranks any restart-time
+    // re-advertisement by the old primary.
+    std::vector<std::uint64_t> epochs;
+    epochs.reserve(watchedPrefixes_.size());
+    for (std::size_t i = 0; i < watchedPrefixes_.size(); ++i) {
+      const std::uint64_t beaconed = i < watchedEpochs_.size() ? watchedEpochs_[i] : 0;
+      epochs.push_back(std::max(beaconed + 1, nextEpochFor(watchedPrefixes_[i])));
+    }
+    assumeRp(watchedPrefixes_, epochs);
   }
   const SimTime step = watchTimeout_ / 2 > 0 ? watchTimeout_ / 2 : 1;
   if (sim().now() + step <= watchUntil_) {
-    sim().schedule(step, [this]() { watchTick(); });
+    const std::uint64_t gen = watchGen_;
+    sim().schedule(step, [this, gen]() {
+      if (gen == watchGen_) watchTick();
+    });
   }
 }
 
@@ -616,14 +730,47 @@ void CopssRouter::onCrash() {
   sentUpstream_.clear();
   seenFloods_.clear();
   sentFaces_.clear();
+  // Heartbeat/failover volatile state dies with the node: pending tick
+  // closures are cancelled via the generation bump, and the last-beacon
+  // snapshot is forgotten so a restarted standby cannot fail over from (or
+  // beacon) pre-crash state. The heartbeat/watch *configuration*
+  // (hbStandby_, watchedRp_, intervals) persists like the RP role does;
+  // onRestart re-arms the ticks from it.
+  ++hbGen_;
+  ++watchGen_;
+  watchedPrefixes_.clear();
+  watchedEpochs_.clear();
+  lastHeartbeatAt_ = 0;
+  failedOver_ = false;
 }
 
 void CopssRouter::onRestart() {
-  lastHeartbeatAt_ = sim().now();  // a watching standby must re-arm, not fire
+  const SimTime now = sim().now();
+  lastHeartbeatAt_ = now;  // a watching standby must re-arm, not fire
+  if (hbStandby_ != kInvalidNode && now <= hbUntil_) heartbeatTick();
+  if (watchedRp_ != kInvalidNode && now <= watchUntil_) watchTick();
   const auto req = makePacket<ResyncRequestPacket>(id());
   for (NodeId nb : network().topology().neighbors(id())) {
     send(nb, req);
     ++resyncRequestsSent_;
+  }
+  // Epoch reconciliation handshake: before trusting the persisted RP config,
+  // ask the neighbours whether anyone observed a higher epoch while we were
+  // down (a standby assuming our role floods epoch+1). A neighbour that did
+  // demotes us one hop back; silence means the claims stand.
+  if (opts_.epochReconcile && !rpPrefixes_.empty()) {
+    std::vector<Name> prefixes(rpPrefixes_.begin(), rpPrefixes_.end());
+    std::vector<std::uint64_t> epochs;
+    epochs.reserve(prefixes.size());
+    for (const Name& p : prefixes) epochs.push_back(claimEpoch(p));
+    const auto reclaim =
+        makePacket<RpReclaimPacket>(id(), std::move(prefixes), std::move(epochs));
+    for (NodeId nb : network().topology().neighbors(id())) {
+      if (!hostFaces_.count(nb)) {
+        send(nb, reclaim);
+        ++reclaimsSent_;
+      }
+    }
   }
 }
 
@@ -641,12 +788,57 @@ void CopssRouter::onResyncRequest(NodeId fromFace, const ResyncRequestPacket& pk
       ++subscriptionReplays_;
     }
   }
-  // Pending-ST replay: unconfirmed joins through the restarted neighbour are
-  // re-sent so an in-flight migration completes despite the crash.
+  // Pending-ST replay: joins through the restarted neighbour are re-sent —
+  // unconfirmed ones so an in-flight migration completes despite the crash,
+  // confirmed ones because the neighbour's active ST entry for them died
+  // with its crash (a standby that crashed after its takeover would
+  // otherwise keep a tree it can no longer serve).
   for (const auto& [txnId, t] : txns_) {
-    if (t.joinSent && !t.confirmed && t.newUpstream == fromFace) {
+    if (t.joinSent && t.newUpstream == fromFace) {
       send(fromFace, makePacket<StJoinPacket>(t.cds, txnId));
       ++joinReplays_;
+    }
+  }
+}
+
+void CopssRouter::onReclaim(NodeId fromFace, const RpReclaimPacket& pkt) {
+  // One-hop query from a restarted RP. Answer with a demote for every prefix
+  // where we observed a higher epoch than the claimant persisted; otherwise
+  // record the (still current) claim. Not forwarded: every neighbour of the
+  // claimant gets its own copy, and one demote suffices to retire it.
+  std::vector<Name> stale;
+  std::vector<std::uint64_t> staleEpochs;
+  for (std::size_t i = 0; i < pkt.prefixes.size(); ++i) {
+    const Name& prefix = pkt.prefixes[i];
+    const std::uint64_t claimed = i < pkt.epochs.size() ? pkt.epochs[i] : 0;
+    const std::uint64_t seen = epochSeen(prefix);
+    if (seen > claimed) {
+      stale.push_back(prefix);
+      staleEpochs.push_back(seen);
+      continue;
+    }
+    observeEpoch(prefix, claimed);
+    if (claimEpoch(prefix) != 0 && claimEpoch(prefix) < claimed) {
+      // Our own (lower-epoch) claim loses to the reclaimed one.
+      retireClaim(prefix, fromFace, /*rejoinAsSubscriber=*/false);
+    }
+  }
+  if (!stale.empty()) {
+    send(fromFace,
+         makePacket<RpDemotePacket>(id(), std::move(stale), std::move(staleEpochs)));
+  }
+}
+
+void CopssRouter::onDemote(NodeId fromFace, const RpDemotePacket& pkt) {
+  for (std::size_t i = 0; i < pkt.prefixes.size(); ++i) {
+    const Name& prefix = pkt.prefixes[i];
+    const std::uint64_t epoch = i < pkt.epochs.size() ? pkt.epochs[i] : 0;
+    observeEpoch(prefix, epoch);
+    // Idempotent: several neighbours may each answer our reclaim; only the
+    // first demote per prefix finds a live claim to retire.
+    if (rpPrefixes_.count(prefix) > 0 && claimEpoch(prefix) < epoch) {
+      retireClaim(prefix, fromFace, /*rejoinAsSubscriber=*/true);
+      ++demotions_;
     }
   }
 }

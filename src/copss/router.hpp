@@ -41,6 +41,11 @@ class CopssRouter : public Node {
     // Dedup window for multicast seqs (loop/duplicate suppression during
     // tree reconfiguration).
     std::size_t dedupWindow = 1 << 14;
+    // Epoch reconciliation on restart: ask the neighbours whether the
+    // persisted RP claims are still current and accept demotion if a higher
+    // epoch owns them now. Off reproduces the pre-epoch split-brain (a
+    // restarted RP silently re-advertises) for regression tests.
+    bool epochReconcile = true;
   };
 
   CopssRouter(NodeId id, Network& net) : CopssRouter(id, net, Options{}) {}
@@ -49,10 +54,25 @@ class CopssRouter : public Node {
   // ---- static control plane (installed by the deployment helper) ----
   void addCdRoute(const Name& prefix, NodeId nextHopFace);
   void removeCdRoute(const Name& prefix, NodeId nextHopFace);
+  // Claim `prefix` at the next ownership epoch (highest observed + 1); the
+  // explicit-epoch overload is for the deploy layer (initial epoch 1) and for
+  // tests that forge conflicting claims on purpose.
   void becomeRp(const Name& prefix);
+  void becomeRp(const Name& prefix, std::uint64_t epoch);
   bool isRpFor(const Name& cd) const;
   bool isRpFor(NameId cd) const;
   const std::set<Name>& rpPrefixes() const { return rpPrefixes_; }
+  // ---- ownership epochs (split-brain reconciliation) ----
+  // Epoch of this router's own claim on `prefix` (0: no claim).
+  std::uint64_t claimEpoch(const Name& prefix) const;
+  // Highest epoch this router has observed for `prefix`, through its own
+  // claims, FIB floods, handoffs, heartbeats or reconciliation traffic.
+  std::uint64_t epochSeen(const Name& prefix) const;
+  const std::map<Name, std::uint64_t>& rpEpochs() const { return rpEpochs_; }
+  const std::map<Name, std::uint64_t>& epochsSeen() const { return epochSeen_; }
+  // Record an externally-learned epoch (deploy stamps the initial assignment
+  // on every router so epoch 1 is network-wide knowledge from the start).
+  void observeEpoch(const Name& prefix, std::uint64_t epoch);
   // Faces leading to end hosts (not flooded with FIB updates).
   void markHostFace(NodeId face) { hostFaces_.insert(face); }
   bool isHostFace(NodeId face) const { return hostFaces_.count(face) > 0; }
@@ -95,6 +115,9 @@ class CopssRouter : public Node {
   std::uint64_t resyncRequestsSent() const { return resyncRequestsSent_; }
   std::uint64_t subscriptionReplays() const { return subscriptionReplays_; }
   std::uint64_t joinReplays() const { return joinReplays_; }
+  std::uint64_t reclaimsSent() const { return reclaimsSent_; }
+  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t staleAnnouncementsIgnored() const { return staleAnnouncementsIgnored_; }
 
   // Force a split now (tests); returns false if no split is possible.
   bool forceSplit();
@@ -113,6 +136,12 @@ class CopssRouter : public Node {
   // cannot undo it (publishers using reliable mode retransmit into the new
   // tree, closing the gap end-to-end).
   void assumeRp(const std::vector<Name>& prefixes);
+  // Explicit-epoch takeover: claim each prefix at the given epoch. The
+  // standby's watchTick passes one past the crashed RP's last-beaconed
+  // epochs, so the takeover flood outranks any restart-time
+  // re-advertisement by the old primary.
+  void assumeRp(const std::vector<Name>& prefixes,
+                const std::vector<std::uint64_t>& claimEpochs);
 
   // ---- RP liveness / automatic failover ----
   // As an RP: beacon the served prefixes to `standby` every `interval`
@@ -145,8 +174,16 @@ class CopssRouter : public Node {
   void onPubAck(NodeId fromFace, const PacketPtr& pkt);
   void onHeartbeat(NodeId fromFace, const PacketPtr& pkt);
   void onResyncRequest(NodeId fromFace, const ResyncRequestPacket& pkt);
+  void onReclaim(NodeId fromFace, const RpReclaimPacket& pkt);
+  void onDemote(NodeId fromFace, const RpDemotePacket& pkt);
   void heartbeatTick();
   void watchTick();
+  // Next epoch this router would claim `prefix` at (highest observed + 1).
+  std::uint64_t nextEpochFor(const Name& prefix) const;
+  // Drop the claim on `prefix` and point the FIB at `towardFace` (the face
+  // that carried the higher-epoch announcement). `rejoinAsSubscriber` is the
+  // demotion path: the loser stays in the tree as a plain subscriber.
+  void retireClaim(const Name& prefix, NodeId towardFace, bool rejoinAsSubscriber);
 
   // Deliver a decapsulated publication as the RP: ST multicast + balancing.
   void rpDeliver(NodeId arrivalFace, const PacketPtr& multicast);
@@ -191,6 +228,11 @@ class CopssRouter : public Node {
   ndn::Fib cdFib_;  // CD prefix -> face toward the serving RP (local = we are RP)
   SubscriptionTable st_;
   std::set<Name> rpPrefixes_;
+  // Ownership epochs. Both survive a crash: the claim epochs are part of the
+  // persisted RP config (like rpPrefixes_), and the observed high-water marks
+  // model routing-protocol state that re-converges with the FIB.
+  std::map<Name, std::uint64_t> rpEpochs_;   // own claims: prefix -> epoch
+  std::map<Name, std::uint64_t> epochSeen_;  // highest observed per prefix
   std::set<NodeId> hostFaces_;
   std::vector<NodeId> rpCandidates_;
   RpLoadBalancer balancer_;
@@ -217,7 +259,13 @@ class CopssRouter : public Node {
   SimTime watchUntil_ = 0;
   SimTime lastHeartbeatAt_ = 0;
   std::vector<Name> watchedPrefixes_;
+  std::vector<std::uint64_t> watchedEpochs_;  // parallel to watchedPrefixes_
   bool failedOver_ = false;
+  // Generation counters: a crash bumps them, so tick closures scheduled
+  // before the crash compare their captured generation and bail instead of
+  // beaconing (or failing over from) pre-crash state.
+  std::uint64_t hbGen_ = 0;
+  std::uint64_t watchGen_ = 0;
 
   std::uint64_t multicastsForwarded_ = 0;
   std::uint64_t rpDecapsulations_ = 0;
@@ -231,6 +279,9 @@ class CopssRouter : public Node {
   std::uint64_t resyncRequestsSent_ = 0;
   std::uint64_t subscriptionReplays_ = 0;
   std::uint64_t joinReplays_ = 0;
+  std::uint64_t reclaimsSent_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t staleAnnouncementsIgnored_ = 0;
   std::uint64_t nextNonce_ = (static_cast<std::uint64_t>(id()) << 32) + 1;
 };
 

@@ -24,6 +24,9 @@ FaultRecoveryReport collectFaultRecovery(
     r.resyncRequests += router->resyncRequestsSent();
     r.subscriptionReplays += router->subscriptionReplays();
     r.joinReplays += router->joinReplays();
+    r.reclaims += router->reclaimsSent();
+    r.demotions += router->demotions();
+    r.staleAnnouncementsIgnored += router->staleAnnouncementsIgnored();
   }
   for (const auto* client : clients) {
     r.retransmissions += client->retransmissions();
@@ -39,7 +42,8 @@ bool writeFaultRecoveryCsv(const std::string& path, const FaultRecoveryReport& r
   if (!out) return false;
   out << "random_loss,link_down_loss,jittered,reordered,crashes,restarts,"
          "network_drops,acks_sent,heartbeats_sent,failovers,last_failover_ms,"
-         "resync_requests,subscription_replays,join_replays,retransmissions,"
+         "resync_requests,subscription_replays,join_replays,reclaims,demotions,"
+         "stale_announcements_ignored,retransmissions,"
          "acks_received,publish_failures,resubscribes,expected,delivered,"
          "delivery_ratio\n";
   out << r.injected.randomLoss << ',' << r.injected.linkDownLoss << ','
@@ -48,7 +52,9 @@ bool writeFaultRecoveryCsv(const std::string& path, const FaultRecoveryReport& r
       << r.networkDrops << ',' << r.acksSent << ',' << r.heartbeatsSent << ','
       << r.failovers << ',' << (r.lastFailoverAt < 0 ? -1.0 : toMs(r.lastFailoverAt))
       << ',' << r.resyncRequests << ',' << r.subscriptionReplays << ','
-      << r.joinReplays << ',' << r.retransmissions << ',' << r.acksReceived << ','
+      << r.joinReplays << ',' << r.reclaims << ',' << r.demotions << ','
+      << r.staleAnnouncementsIgnored << ','
+      << r.retransmissions << ',' << r.acksReceived << ','
       << r.publishFailures << ',' << r.resubscribes << ',' << r.expectedDeliveries
       << ',' << r.deliveries << ',' << r.deliveryRatio() << '\n';
   return static_cast<bool>(out);

@@ -33,6 +33,10 @@ struct FaultRecoveryReport {
   std::uint64_t resyncRequests = 0;
   std::uint64_t subscriptionReplays = 0;
   std::uint64_t joinReplays = 0;
+  // Epoch-reconciliation handshake (split-brain resolution after restarts).
+  std::uint64_t reclaims = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t staleAnnouncementsIgnored = 0;
 
   // --- recovery actions (clients) ---
   std::uint64_t retransmissions = 0;

@@ -1,0 +1,87 @@
+#include "metrics/sweep.hpp"
+
+#include <fstream>
+#include <memory>
+
+namespace gcopss::metrics {
+
+bool SweepReport::allOk() const {
+  for (const SweepRow& row : rows) {
+    if (!row.invariantsOk) return false;
+  }
+  return true;
+}
+
+std::string SweepReport::failureText() const {
+  std::string out;
+  for (const SweepRow& row : rows) {
+    if (row.invariantsOk) continue;
+    out += "sweep case '" + row.label + "':\n" + row.auditReport;
+  }
+  return out;
+}
+
+std::vector<gc::RunSummary> SweepReport::summaries() const {
+  std::vector<gc::RunSummary> out;
+  out.reserve(rows.size());
+  for (const SweepRow& row : rows) out.push_back(row.summary);
+  return out;
+}
+
+SweepReport runAuditedSweep(const game::GameMap& map, const trace::Trace& trace,
+                            const std::vector<SweepCase>& cases,
+                            const SweepOptions& opts) {
+  SweepReport report;
+  report.rows.reserve(cases.size());
+  for (const SweepCase& c : cases) {
+    SweepRow row;
+    row.label = c.label;
+
+    gc::GCopssRunConfig cfg = c.config;
+    auto userReady = cfg.onWorldReady;
+    auto userDrained = cfg.onRunDrained;
+    // The checker lives across the run but must release its observer slot
+    // before the world is torn down, hence the explicit reset in the
+    // drained hook.
+    std::unique_ptr<check::InvariantChecker> checker;
+    cfg.onWorldReady = [&](const gc::GCopssRunConfig::WorldView& w) {
+      checker = std::make_unique<check::InvariantChecker>(w.net, w.routers, w.clients,
+                                                          opts.checker);
+      if (opts.auditInterval > 0) {
+        checker->schedulePeriodic(opts.auditInterval, opts.auditUntil);
+      }
+      if (userReady) userReady(w);
+    };
+    cfg.onRunDrained = [&](const gc::GCopssRunConfig::WorldView& w) {
+      if (userDrained) userDrained(w);
+      checker->finalAudit();
+      row.invariantsOk = checker->ok();
+      row.violationCount = checker->violations().size();
+      if (!row.invariantsOk) row.auditReport = checker->reportText();
+      row.audit = checker->stats();
+      checker.reset();
+    };
+
+    row.summary = runGCopssTrace(map, trace, cfg);
+    row.summary.label = c.label;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+bool writeSweepCsv(const std::string& path, const SweepReport& report) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "label,invariants_ok,violations,mean_ms,p95_ms,p99_ms,deliveries,"
+         "link_packets,drops,rp_splits\n";
+  for (const SweepRow& row : report.rows) {
+    out << row.label << ',' << (row.invariantsOk ? 1 : 0) << ','
+        << row.violationCount << ',' << row.summary.meanMs << ','
+        << row.summary.p95Ms << ',' << row.summary.p99Ms << ','
+        << row.summary.deliveries << ',' << row.summary.linkPackets << ','
+        << row.summary.drops << ',' << row.summary.rpSplits << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace gcopss::metrics

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "gcopss/experiment.hpp"
+
+namespace gcopss::metrics {
+
+// Audited parameter sweeps: run a grid of GCopssRunConfig variants over one
+// trace and attach an InvariantChecker to every run through the
+// onWorldReady/onRunDrained hooks — exactly the way the scenario runner and
+// bench_core already certify single runs. A sweep row therefore carries a
+// machine-checked verdict next to its averages: a configuration that loses
+// publications, splits RP ownership or leaks packets fails the sweep instead
+// of quietly contributing a plausible-looking CSV line (ROADMAP: "wire the
+// invariant checker into the sweep drivers").
+
+struct SweepCase {
+  std::string label;
+  gc::GCopssRunConfig config;
+};
+
+struct SweepRow {
+  std::string label;
+  gc::RunSummary summary;
+  bool invariantsOk = false;
+  std::size_t violationCount = 0;
+  // Full audit report of a failing run (empty when clean) — surfaced so a
+  // sweep failure is diagnosable without re-running the configuration.
+  std::string auditReport;
+  check::AuditStats audit;
+};
+
+struct SweepOptions {
+  // Checker configuration shared by every case. Delivery auditing works
+  // under live churn (the checker's subscription ledger), so sweeps with
+  // join/leave traffic may enable it too.
+  check::InvariantChecker::Options checker;
+  // > 0: audit periodically during each run (until `auditUntil`), not just
+  // at the end. Catches transient split-brain states a final audit misses.
+  SimTime auditInterval = 0;
+  SimTime auditUntil = 0;
+};
+
+struct SweepReport {
+  std::vector<SweepRow> rows;
+
+  bool allOk() const;
+  // Concatenated audit reports of every failing row (empty when allOk()).
+  std::string failureText() const;
+  std::vector<gc::RunSummary> summaries() const;
+};
+
+// Run every case sequentially and audit each run. Caller-provided
+// onWorldReady/onRunDrained hooks inside a case's config still fire (the
+// sweep chains its own around them).
+SweepReport runAuditedSweep(const game::GameMap& map, const trace::Trace& trace,
+                            const std::vector<SweepCase>& cases,
+                            const SweepOptions& opts = {});
+
+// One row per case: label, ok flag, violation count, then the usual summary
+// columns (same conventions as the other CSV writers).
+bool writeSweepCsv(const std::string& path, const SweepReport& report);
+
+}  // namespace gcopss::metrics

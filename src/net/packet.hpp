@@ -43,6 +43,9 @@ struct Packet {
     PubAck,
     RpHeartbeat,
     StResync,
+    // COPSS epoch reconciliation (restart-time RP ownership handshake)
+    RpReclaim,
+    RpDemote,
     // IP baseline
     IpUnicast,
     IpMulticastPkt,

@@ -28,6 +28,8 @@ enum class Tag : std::uint8_t {
   IpUnicast = 14,
   UpdateSegment = 15,
   Announce = 16,
+  RpReclaim = 17,
+  RpDemote = 18,
 };
 
 void putName(WireWriter& w, const Name& n) {
@@ -60,6 +62,22 @@ std::vector<Name> getNames(WireReader& r) {
 
 void putNode(WireWriter& w, NodeId n) { w.u32(static_cast<std::uint32_t>(n)); }
 NodeId getNode(WireReader& r) { return static_cast<NodeId>(r.u32()); }
+
+// Per-prefix ownership epochs (parallel to a preceding name list). An empty
+// vector encodes as count 0 — the unstamped-legacy representation.
+void putEpochs(WireWriter& w, const std::vector<std::uint64_t>& epochs) {
+  w.varint(epochs.size());
+  for (std::uint64_t e : epochs) w.u64(e);
+}
+
+std::vector<std::uint64_t> getEpochs(WireReader& r, std::size_t nameCount) {
+  const std::uint64_t count = r.varint();
+  if (count != 0 && count != nameCount) throw WireError("epoch/prefix count mismatch");
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(r.u64());
+  return out;
+}
 
 void encodeInto(WireWriter& w, const Packet& packet);  // fwd (nested encap)
 
@@ -135,6 +153,7 @@ void encodeBody(WireWriter& w, const Packet& packet) {
       putNames(w, add ? add->prefixes : rem->prefixes);
       putNode(w, add ? add->origin : rem->origin);
       w.u64(add ? add->txnId : rem->txnId);
+      if (add) putEpochs(w, add->epochs);
       return;
     }
     case Packet::Kind::RpHandoff: {
@@ -143,6 +162,21 @@ void encodeBody(WireWriter& w, const Packet& packet) {
       putNode(w, p.oldRp);
       putNode(w, p.newRp);
       w.u64(p.txnId);
+      putEpochs(w, p.epochs);
+      return;
+    }
+    case Packet::Kind::RpReclaim: {
+      const auto& p = static_cast<const copss::RpReclaimPacket&>(packet);
+      putNode(w, p.origin);
+      putNames(w, p.prefixes);
+      putEpochs(w, p.epochs);
+      return;
+    }
+    case Packet::Kind::RpDemote: {
+      const auto& p = static_cast<const copss::RpDemotePacket&>(packet);
+      putNode(w, p.origin);
+      putNames(w, p.prefixes);
+      putEpochs(w, p.epochs);
       return;
     }
     case Packet::Kind::StJoin:
@@ -196,6 +230,8 @@ Tag tagFor(const Packet& packet) {
     case Packet::Kind::StJoin: return Tag::StJoin;
     case Packet::Kind::StConfirm: return Tag::StConfirm;
     case Packet::Kind::StLeave: return Tag::StLeave;
+    case Packet::Kind::RpReclaim: return Tag::RpReclaim;
+    case Packet::Kind::RpDemote: return Tag::RpDemote;
     case Packet::Kind::IpUnicast: return Tag::IpUnicast;
     default: throw WireError("unsupported packet kind for encoding");
   }
@@ -295,7 +331,9 @@ PacketPtr decodeBody(Tag tag, WireReader& r) {
       auto prefixes = getNames(r);
       const NodeId origin = getNode(r);
       const std::uint64_t txn = r.u64();
-      return makePacket<copss::FibAddPacket>(std::move(prefixes), origin, txn);
+      auto epochs = getEpochs(r, prefixes.size());
+      return makePacket<copss::FibAddPacket>(std::move(prefixes), std::move(epochs),
+                                             origin, txn);
     }
     case Tag::FibRemove: {
       auto prefixes = getNames(r);
@@ -308,7 +346,9 @@ PacketPtr decodeBody(Tag tag, WireReader& r) {
       const NodeId oldRp = getNode(r);
       const NodeId newRp = getNode(r);
       const std::uint64_t txn = r.u64();
-      return makePacket<copss::RpHandoffPacket>(std::move(cds), oldRp, newRp, txn);
+      auto epochs = getEpochs(r, cds.size());
+      return makePacket<copss::RpHandoffPacket>(std::move(cds), std::move(epochs), oldRp,
+                                                newRp, txn);
     }
     case Tag::StJoin: {
       auto cds = getNames(r);
@@ -321,6 +361,20 @@ PacketPtr decodeBody(Tag tag, WireReader& r) {
     case Tag::StLeave: {
       auto cds = getNames(r);
       return makePacket<copss::StLeavePacket>(std::move(cds), r.u64());
+    }
+    case Tag::RpReclaim: {
+      const NodeId origin = getNode(r);
+      auto prefixes = getNames(r);
+      auto epochs = getEpochs(r, prefixes.size());
+      return makePacket<copss::RpReclaimPacket>(origin, std::move(prefixes),
+                                                std::move(epochs));
+    }
+    case Tag::RpDemote: {
+      const NodeId origin = getNode(r);
+      auto prefixes = getNames(r);
+      auto epochs = getEpochs(r, prefixes.size());
+      return makePacket<copss::RpDemotePacket>(origin, std::move(prefixes),
+                                               std::move(epochs));
     }
     case Tag::Announce: {
       auto cds = getNames(r);

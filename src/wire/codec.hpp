@@ -23,7 +23,9 @@ namespace gcopss::wire {
 // (bad magic, unknown type, truncation, trailing bytes).
 
 constexpr std::uint16_t kMagic = 0x47C0;  // "GC"
-constexpr std::uint8_t kVersion = 1;
+// v2: FibAdd and RpHandoff bodies carry per-prefix ownership epochs, and the
+// RpReclaim/RpDemote reconciliation packets joined the tag space.
+constexpr std::uint8_t kVersion = 2;
 
 std::vector<std::uint8_t> encode(const Packet& packet);
 

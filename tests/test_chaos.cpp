@@ -350,6 +350,168 @@ TEST(Chaos, UnconfirmedJoinIsReplayedAfterUpstreamRestart) {
   EXPECT_EQ(log.duplicates(), 0u);
 }
 
+// ------------------------------------------------ epoch/ownership chaos
+
+// The migration-crash acceptance scenario re-run under the full invariant
+// suite with audits every 10 ms: RP ownership, ST soundness, loop freedom,
+// epoch monotonicity and delivery must stay clean through the handoff, the
+// crash, the restart and the reclaim handshake.
+TEST(Chaos, MigrationCrashAuditsCleanUnderFullInvariants) {
+  SCOPED_TRACE("chaos seed=" + std::to_string(MigrationCrashSetup::kSeed));
+  LineWorld w(6, {}, SimParams::largeScale(), /*ring=*/true);
+  check::InvariantChecker::Options opts;
+  opts.checkDelivery = true;
+  auto& checker = w.enableFullAudit(opts);
+  checker.schedulePeriodic(ms(10), ms(900));
+  MigrationCrashSetup::drive(w, /*reliable=*/true);
+  checker.finalAudit();
+
+  EXPECT_TRUE(checker.ok()) << checker.reportText();
+  EXPECT_GE(checker.stats().audits, 50u);
+  EXPECT_EQ(checker.stats().publicationsTracked, MigrationCrashSetup::kTotal);
+}
+
+// Crash inside the failover window: the standby dies moments after its
+// epoch-2 takeover flood and restarts before the old primary does. Both run
+// the reclaim handshake on restart; epoch order (2 beats 1) must settle
+// ownership on the standby regardless of who comes back first.
+TEST(Chaos, CrashDuringFailoverStillConvergesToOneOwner) {
+  LineWorld w(6, {}, SimParams::largeScale(), /*ring=*/true);
+  auto& checker = w.enableFullAudit();
+  w.singleRootRp(2);
+  CountingLog log;
+  log.attach(w);
+
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.crash(w.routerIds[2], ms(200), ms(450));  // primary
+  plan.crash(w.routerIds[4], ms(250), ms(320));  // standby, just after takeover
+  w.net->applyFaultPlan(plan);
+
+  w.sim->scheduleAt(0, [&]() {
+    w.clients[0]->subscribe(Name());
+    w.routers[2]->startRpHeartbeats(w.routerIds[4], ms(10), ms(450));
+    w.routers[4]->watchRpLiveness(w.routerIds[2], ms(25), ms(450));
+  });
+  w.sim->scheduleAt(ms(550), [&]() { w.clients[1]->publish(Name::parse("/4/4"), 10, 3); });
+  w.sim->scheduleAt(ms(650), [&]() { checker.auditNow(); });
+  w.sim->run();
+
+  EXPECT_EQ(w.routers[4]->failovers(), 1u);
+  EXPECT_TRUE(w.routers[4]->isRpFor(Name::parse("/4/4")));
+  EXPECT_EQ(w.routers[4]->claimEpoch(Name()), 2u);
+  EXPECT_EQ(w.routers[4]->demotions(), 0u) << "the higher epoch survives its reclaim";
+  EXPECT_GE(w.routers[4]->reclaimsSent(), 1u);
+  EXPECT_TRUE(w.routers[2]->rpPrefixes().empty()) << "the stale primary is demoted";
+  EXPECT_EQ(w.routers[2]->demotions(), 1u);
+  EXPECT_EQ(log.count(0, 3), 1) << "post-convergence delivery through the survivor";
+  EXPECT_TRUE(checker.ok()) << checker.reportText();
+}
+
+// The worst ordering: primary and standby restart at the same instant and
+// reclaim concurrently. The handshake must converge to exactly one live
+// claim per prefix — the acceptance criterion for the epoch machinery.
+TEST(Chaos, SimultaneousRestartOfPrimaryAndStandbyConverges) {
+  LineWorld w(6, {}, SimParams::largeScale(), /*ring=*/true);
+  auto& checker = w.enableFullAudit();
+  w.singleRootRp(2);
+  CountingLog log;
+  log.attach(w);
+
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.jitterEverywhere(us(200));
+  plan.crash(w.routerIds[2], ms(200), ms(500));  // primary: long outage
+  plan.crash(w.routerIds[4], ms(460), ms(500));  // standby: dies after takeover
+  w.net->applyFaultPlan(plan);
+
+  w.sim->scheduleAt(0, [&]() {
+    w.clients[0]->subscribe(Name());
+    w.routers[2]->startRpHeartbeats(w.routerIds[4], ms(10), ms(450));
+    w.routers[4]->watchRpLiveness(w.routerIds[2], ms(25), ms(450));
+  });
+  w.sim->scheduleAt(ms(600), [&]() { w.clients[1]->publish(Name::parse("/9/9"), 10, 1); });
+  w.sim->scheduleAt(ms(700), [&]() { checker.auditNow(); });
+  w.sim->run();
+
+  // Exactly one live claim, at the highest epoch ever minted.
+  EXPECT_TRUE(w.routers[4]->isRpFor(Name::parse("/9/9")));
+  EXPECT_EQ(w.routers[4]->claimEpoch(Name()), 2u);
+  EXPECT_TRUE(w.routers[2]->rpPrefixes().empty());
+  EXPECT_EQ(w.routers[2]->demotions(), 1u);
+  EXPECT_EQ(w.routers[4]->demotions(), 0u);
+  std::size_t liveClaims = 0;
+  for (auto* r : w.routers) liveClaims += r->rpPrefixes().size();
+  EXPECT_EQ(liveClaims, 1u);
+  EXPECT_EQ(log.count(0, 1), 1) << "delivery resumed after the double restart";
+  EXPECT_TRUE(checker.ok()) << checker.reportText();
+}
+
+// Restart with no rival: the reclaim goes out, no neighbour has observed a
+// higher epoch, silence means the persisted claim stands and delivery
+// resumes through the revived RP.
+TEST(Chaos, ReclaimWithNoRivalKeepsThePersistedClaim) {
+  LineWorld w(4);
+  auto& checker = w.enableFullAudit();
+  w.singleRootRp(1);
+  CountingLog log;
+  log.attach(w);
+
+  FaultPlan plan;
+  plan.crash(w.routerIds[1], ms(100), ms(200));
+  w.net->applyFaultPlan(plan);
+
+  w.sim->scheduleAt(0, [&]() { w.clients[3]->subscribe(Name()); });
+  w.sim->scheduleAt(ms(300), [&]() { w.clients[0]->publish(Name::parse("/1/1"), 10, 5); });
+  w.sim->run();
+
+  EXPECT_EQ(w.routers[1]->reclaimsSent(), 2u) << "R0 and R2; the host face is skipped";
+  EXPECT_EQ(w.routers[1]->demotions(), 0u);
+  EXPECT_TRUE(w.routers[1]->isRpFor(Name::parse("/1/1")));
+  EXPECT_EQ(w.routers[1]->claimEpoch(Name()), 1u);
+  EXPECT_EQ(log.count(3, 5), 1);
+  EXPECT_TRUE(checker.ok()) << checker.reportText();
+}
+
+// The delivery audit under live churn: clients join and leave while the
+// publisher streams, with no quiesce step anywhere. The checker's
+// subscription-interval ledger must compute each publication's entitled
+// audience correctly or this run reports phantom starvation.
+TEST(Chaos, DeliveryAuditPassesUnderLiveChurn) {
+  LineWorld w(5);
+  check::InvariantChecker::Options opts;
+  opts.checkDelivery = true;
+  auto& checker = w.enableFullAudit(opts);
+  w.singleRootRp(2);
+  CountingLog log;
+  log.attach(w);
+
+  w.sim->scheduleAt(0, [&]() { w.clients[0]->subscribe(Name()); });
+  // Mid-stream churn: C3 joins, C4 joins and later leaves — all while the
+  // publisher keeps streaming.
+  w.sim->scheduleAt(ms(100), [&]() { w.clients[3]->subscribe(Name::parse("/1")); });
+  w.sim->scheduleAt(ms(150), [&]() { w.clients[4]->subscribe(Name::parse("/1/1")); });
+  w.sim->scheduleAt(ms(250), [&]() { w.clients[4]->unsubscribe(Name::parse("/1/1")); });
+
+  constexpr std::uint64_t kTotal = 80;
+  for (std::uint64_t s = 1; s <= kTotal; ++s) {
+    w.sim->scheduleAt(ms(30) + ms(5) * static_cast<SimTime>(s - 1), [&w, s]() {
+      w.clients[1]->publish(Name::parse("/1/1"), 15, s);
+    });
+  }
+  w.sim->run();
+  checker.finalAudit();
+
+  EXPECT_TRUE(checker.ok()) << checker.reportText();
+  EXPECT_EQ(checker.stats().publicationsTracked, kTotal);
+  // The late joiner received the post-join stream but never the pre-join one.
+  EXPECT_EQ(log.count(3, kTotal), 1);
+  EXPECT_EQ(log.count(3, 1), 0);
+  // The leaver received mid-window publications and stopped after leaving.
+  EXPECT_EQ(log.count(4, 30), 1);
+  EXPECT_EQ(log.count(4, kTotal), 0);
+}
+
 // ------------------------------------------------------- metrics aggregation
 
 TEST(Chaos, FaultRecoveryReportAggregatesAllLayers) {

@@ -10,8 +10,11 @@ using check::Invariant;
 using check::InvariantChecker;
 
 // Steady state: a prefix-free two-RP deployment under continuous pub/sub
-// traffic. Every invariant (RP ownership, ST soundness, loop freedom,
-// conservation, delivery) must audit clean at every checkpoint.
+// traffic WITH live churn — a subscriber joins and another leaves in the
+// middle of the publication stream, no quiesce step. Every invariant (RP
+// ownership, ST soundness, loop freedom, conservation, delivery) must audit
+// clean at every checkpoint; the delivery audit's subscription ledger keeps
+// the entitled audience correct across the churn.
 TEST(InvariantAudit, SteadyStateAuditsClean) {
   LineWorld w(5);
   InvariantChecker::Options opts;
@@ -36,6 +39,10 @@ TEST(InvariantAudit, SteadyStateAuditsClean) {
       w.clients[1]->publish(cd, 20, s);
     });
   }
+  // Live churn mid-stream: C3 joins while publications are in flight, C0
+  // leaves a hundred milliseconds later. Neither may trip the audit.
+  w.sim->scheduleAt(ms(150), [&]() { w.clients[3]->subscribe(Name::parse("/1/1")); });
+  w.sim->scheduleAt(ms(250), [&]() { w.clients[0]->unsubscribe(Name::parse("/1")); });
   checker.schedulePeriodic(ms(25), ms(500));
   w.sim->run();
   checker.finalAudit();
@@ -79,6 +86,9 @@ TEST(InvariantAudit, ForcedSplitAuditsCleanMidMigration) {
   bool splitHappened = false;
   w.sim->scheduleAt(ms(50) + ms(4) * 100,
                     [&]() { splitHappened = w.routers[0]->forceSplit(); });
+  // A late joiner arrives after the split: its join must find the delegated
+  // RP, and the delivery ledger must demand only post-join publications.
+  w.sim->scheduleAt(ms(650), [&]() { w.clients[4]->subscribe(Name::parse("/2/1")); });
   checker.schedulePeriodic(ms(10), ms(1200));
   w.sim->run();
   checker.finalAudit();
@@ -142,6 +152,9 @@ TEST(InvariantAudit, ReliablePublishUnderLossStaysExactlyOnce) {
       w.clients[1]->publish(Name::parse("/3/1"), 20, s);
     });
   }
+  // Mid-run join while retransmissions are in flight: the ledger must only
+  // demand post-join publications for C2, retransmitted or not.
+  w.sim->scheduleAt(ms(200), [&]() { w.clients[2]->subscribe(Name::parse("/3/1")); });
   w.sim->run();
   checker.finalAudit();
 

@@ -130,6 +130,71 @@ TEST(InvariantAuditNegative, DroppedMigrationPublicationIsWitnessed) {
   }
 }
 
+// Two routers hold forged claims on the same prefix at the same epoch.
+// Epochs are minted monotonically (max observed + 1), so no legal transition
+// can produce this — the audit must flag it even though a takeover flood or
+// reclaim handshake would excuse a plain duplicate claim.
+TEST(InvariantAuditNegative, ForgedSameEpochDuplicateClaimIsReported) {
+  LineWorld w(4);
+  w.expectViolations = true;
+  auto& checker = w.enableFullAudit();
+  w.singleRootRp(0);
+
+  w.sim->scheduleAt(ms(10), [&]() {
+    w.routers[1]->becomeRp(Name::parse("/7"), 5);
+    w.routers[3]->becomeRp(Name::parse("/7"), 5);
+  });
+  w.sim->scheduleAt(ms(50), [&]() { checker.auditNow(); });
+  w.sim->run();
+
+  EXPECT_FALSE(checker.ok());
+  const Violation* dup = nullptr;
+  for (const Violation& v : checker.violations()) {
+    if (v.invariant == Invariant::EpochMonotonic &&
+        v.detail.find("same epoch") != std::string::npos) {
+      dup = &v;
+      break;
+    }
+  }
+  ASSERT_NE(dup, nullptr) << checker.reportText();
+  EXPECT_NE(dup->detail.find("/7"), std::string::npos) << dup->detail;
+  EXPECT_NE(dup->detail.find("epoch 5"), std::string::npos) << dup->detail;
+  EXPECT_TRUE(dup->node == w.routerIds[1] || dup->node == w.routerIds[3]);
+}
+
+// A prefix the audit has seen owned at epoch 4 reappears claimed at epoch 2
+// with no control packet in flight to excuse it: the stale-owner resurrection
+// the reconciliation handshake exists to prevent.
+TEST(InvariantAuditNegative, EpochRegressionIsReported) {
+  LineWorld w(4);
+  w.expectViolations = true;
+  auto& checker = w.enableFullAudit();
+  w.singleRootRp(0);
+
+  w.sim->scheduleAt(ms(10), [&]() { w.routers[2]->becomeRp(Name::parse("/9"), 4); });
+  // First audit records the high-water mark (4) for /9.
+  w.sim->scheduleAt(ms(30), [&]() { checker.auditNow(); });
+  // Forge the regression: the same router re-claims below the high water.
+  // (becomeRp() would mint max(seen)+1; only the forging overload can go
+  // backwards, standing in for a corrupted restart.)
+  w.sim->scheduleAt(ms(50), [&]() { w.routers[2]->becomeRp(Name::parse("/9"), 2); });
+  w.sim->scheduleAt(ms(70), [&]() { checker.auditNow(); });
+  w.sim->run();
+
+  const Violation* reg = nullptr;
+  for (const Violation& v : checker.violations()) {
+    if (v.invariant == Invariant::EpochMonotonic &&
+        v.detail.find("regression") != std::string::npos) {
+      reg = &v;
+      break;
+    }
+  }
+  ASSERT_NE(reg, nullptr) << checker.reportText();
+  EXPECT_EQ(reg->node, w.routerIds[2]);
+  EXPECT_NE(reg->detail.find("/9"), std::string::npos) << reg->detail;
+  EXPECT_NE(reg->detail.find("high water 4"), std::string::npos) << reg->detail;
+}
+
 // A single subscription entry is knocked out of a face's Bloom filter while
 // the exact table still holds it — the silent-starvation desync the ST
 // soundness audit exists to catch.

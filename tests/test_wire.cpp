@@ -111,6 +111,62 @@ TEST(Wire, ControlPacketsRoundTrip) {
   EXPECT_TRUE(roundTrip<copss::FibRemovePacket>(makePacket<copss::FibRemovePacket>(cds, 5, 4)));
 }
 
+TEST(Wire, EpochStampedControlPacketsRoundTrip) {
+  const std::vector<Name> cds{Name::parse("/1/1"), Name::parse("/2/_")};
+  const std::vector<std::uint64_t> epochs{3, 7};
+
+  const auto fib = roundTrip<copss::FibAddPacket>(
+      makePacket<copss::FibAddPacket>(cds, epochs, 12, 900));
+  ASSERT_TRUE(fib);
+  EXPECT_EQ(fib->prefixes, cds);
+  EXPECT_EQ(fib->epochs, epochs);
+
+  const auto handoff = roundTrip<copss::RpHandoffPacket>(
+      makePacket<copss::RpHandoffPacket>(cds, epochs, 3, 4, 901));
+  ASSERT_TRUE(handoff);
+  EXPECT_EQ(handoff->cds, cds);
+  EXPECT_EQ(handoff->epochs, epochs);
+
+  const auto reclaim = roundTrip<copss::RpReclaimPacket>(
+      makePacket<copss::RpReclaimPacket>(9, cds, epochs));
+  ASSERT_TRUE(reclaim);
+  EXPECT_EQ(reclaim->origin, 9);
+  EXPECT_EQ(reclaim->prefixes, cds);
+  EXPECT_EQ(reclaim->epochs, epochs);
+
+  const auto demote = roundTrip<copss::RpDemotePacket>(
+      makePacket<copss::RpDemotePacket>(2, cds, epochs));
+  ASSERT_TRUE(demote);
+  EXPECT_EQ(demote->origin, 2);
+  EXPECT_EQ(demote->epochs, epochs);
+
+  // Unstamped (legacy) announcements keep round-tripping with empty epochs.
+  const auto legacy = roundTrip<copss::FibAddPacket>(
+      makePacket<copss::FibAddPacket>(cds, 12, 902));
+  ASSERT_TRUE(legacy);
+  EXPECT_TRUE(legacy->epochs.empty());
+}
+
+TEST(Wire, MismatchedEpochCountIsRejected) {
+  // Hand-corrupt an encoded FibAdd so the epoch count disagrees with the
+  // prefix count: the decoder must refuse rather than mis-zip the vectors.
+  const std::vector<Name> cds{Name::parse("/1"), Name::parse("/2")};
+  auto bytes = encode(*makePacket<copss::FibAddPacket>(
+      cds, std::vector<std::uint64_t>{3, 7}, 12, 900));
+  // The epoch-count varint (value 2) is the first byte after the fixed-width
+  // u64 txnId; flip it to 1.
+  bool corrupted = false;
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    if (bytes[i] == 2) {  // last varint with value 2 is the epoch count
+      bytes[i] = 1;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_THROW(decode(bytes), WireError);
+}
+
 TEST(Wire, IpUnicastRoundTrips) {
   const auto out = roundTrip<ipserver::IpUnicastPacket>(makePacket<ipserver::IpUnicastPacket>(
       10, 20, Name::parse("/3/4"), 250, seconds(1), 333));
