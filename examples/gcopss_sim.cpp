@@ -41,6 +41,7 @@ struct Args {
   std::string placement = "centrality";
   std::string topo = "rocketfuel";
   std::uint64_t seed = 42;
+  std::size_t threads = 0;  // 0 = serial engine
 };
 
 [[noreturn]] void usage() {
@@ -49,7 +50,9 @@ struct Args {
                "                  [--updates N] [--rps N] [--servers N] [--groups N]\n"
                "                  [--auto] [--two-step] [--hotspot FRAC]\n"
                "                  [--placement centrality|vivaldi|spread]\n"
-               "                  [--topo rocketfuel|bench6] [--seed N]\n");
+               "                  [--topo rocketfuel|bench6] [--seed N]\n"
+               "                  [--threads N]   (gcopss stack only; 0 = serial engine,\n"
+               "                                   N>=1 = parallel shards, same results)\n");
   std::exit(2);
 }
 
@@ -73,6 +76,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--placement") a.placement = value();
     else if (flag == "--topo") a.topo = value();
     else if (flag == "--seed") a.seed = std::stoull(value());
+    else if (flag == "--threads") a.threads = std::stoull(value());
     else usage();
   }
   return a;
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
     cfg.hybridGroups = a.groups;
     cfg.twoStep = a.twoStep;
     cfg.seed = a.seed;
+    cfg.threads = a.threads;
     if (a.placement == "vivaldi") cfg.placement = RpPlacement::Vivaldi;
     else if (a.placement == "spread") cfg.placement = RpPlacement::Spread;
     printSummary(runGCopssTrace(map, trace, cfg));

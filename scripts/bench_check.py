@@ -8,9 +8,20 @@ packets (invariant audit not ok), or if allocations/event on the pure event
 loop crept back up (the engine's zero-alloc steady state is a hard property,
 not a rate, so it gets an absolute bound rather than a ratio).
 
+With --parallel-fresh it additionally gates the multithreaded DES engine
+(BENCH_parallel schema): every config must have reproduced the serial run
+bit-identically ("identical": true), and — when the host that produced the
+fresh run had >= 4 hardware threads — the threads=4 row must be at least
+--min-speedup (default 1.3x) faster than serial in events/sec. Hosts with
+fewer hardware threads run the equivalence check only; scaling cannot be
+certified on hardware that cannot scale, and pretending otherwise would just
+make the gate flaky.
+
 Usage:
   scripts/bench_check.py --fresh BENCH_core_quick.json [--baseline BENCH_core.json]
                          [--threshold 0.20]
+                         [--parallel-fresh BENCH_parallel_quick.json]
+                         [--min-speedup 1.3]
 
 Exit status: 0 ok, 1 regression/violation, 2 bad input.
 """
@@ -61,6 +72,40 @@ def check(fresh, base, threshold):
     return failures
 
 
+def check_parallel(fresh, min_speedup):
+    """Gate a BENCH_parallel run: equivalence always, scaling when the
+    recording host can physically scale."""
+    failures = []
+
+    if not fresh.get("identical", False):
+        failures.append("parallel engine diverged from the serial run "
+                        "(\"identical\": false) — determinism broken")
+
+    rows = {r["threads"]: r for r in fresh["fig6"]["rows"]}
+    serial = rows.get(0)
+    four = rows.get(4)
+    if serial is None or four is None:
+        failures.append("parallel report missing the threads=0 or threads=4 row")
+        return failures
+
+    hw = fresh.get("hw_threads", 0)
+    speedup = (four["events_per_sec"] / serial["events_per_sec"]
+               if serial["events_per_sec"] > 0 else 0.0)
+    print(f"parallel: serial {serial['events_per_sec']:,.0f} events/sec, "
+          f"threads=4 {four['events_per_sec']:,.0f} "
+          f"({speedup:.2f}x, host has {hw} hardware threads)")
+    if hw >= 4:
+        if speedup < min_speedup:
+            failures.append(
+                f"threads=4 speedup {speedup:.2f}x below the {min_speedup}x gate "
+                f"on a {hw}-thread host")
+    else:
+        print(f"parallel: scaling gate skipped — host has only {hw} hardware "
+              f"thread(s); equivalence checked, speedup not certifiable here")
+
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True, help="JSON from a fresh bench_core --quick run")
@@ -68,6 +113,11 @@ def main():
                     help="committed baseline file (default: BENCH_core.json)")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="allowed fractional events/sec regression (default 0.20)")
+    ap.add_argument("--parallel-fresh", default=None,
+                    help="JSON from a fresh bench_parallel --quick run (optional)")
+    ap.add_argument("--min-speedup", type=float, default=1.3,
+                    help="required threads=4 speedup over serial on >=4-thread "
+                         "hosts (default 1.3)")
     args = ap.parse_args()
 
     try:
@@ -89,6 +139,16 @@ def main():
         return 2
 
     failures = check(fresh, base, args.threshold)
+
+    if args.parallel_fresh:
+        try:
+            with open(args.parallel_fresh) as f:
+                parallel = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_check: cannot read parallel input: {e}", file=sys.stderr)
+            return 2
+        failures += check_parallel(parallel, args.min_speedup)
+
     if failures:
         print("\nFAIL:")
         for f in failures:

@@ -1,6 +1,7 @@
 #include "common/name_table.hpp"
 
 #include <cassert>
+#include <mutex>
 
 namespace gcopss {
 
@@ -11,21 +12,57 @@ NameTable& NameTable::instance() {
 
 NameTable::NameTable() {
   // Entry 0: the root (empty) name. Hash matches Name().hash().
-  entries_.push_back(Entry{kInvalidNameId, 0, 0xcbf29ce484222325ULL, ""});
-  entries_.reserve(1024);
+  std::unique_lock lk(mu_);
+  Entry* chunk = new Entry[kChunkSize];
+  chunk[0] = Entry{kInvalidNameId, 0, 0xcbf29ce484222325ULL, ""};
+  chunks_[0].store(chunk, std::memory_order_release);
+  count_.store(1, std::memory_order_release);
+}
+
+NameTable::~NameTable() {
+  for (auto& c : chunks_) {
+    delete[] c.load(std::memory_order_relaxed);
+  }
+}
+
+NameId NameTable::appendLocked(NameId parent, std::string_view component) {
+  const NameId id = count_.load(std::memory_order_relaxed);
+  assert((id >> kChunkShift) < kMaxChunks && "NameTable chunk space exhausted");
+  auto& slot = chunks_[id >> kChunkShift];
+  Entry* chunk = slot.load(std::memory_order_relaxed);
+  if (!chunk) {
+    chunk = new Entry[kChunkSize];
+    slot.store(chunk, std::memory_order_release);
+  }
+  const Entry& p = entry(parent);
+  // Incremental hash identical to Name::hash(): fold the component, then "/".
+  chunk[id & kChunkMask] =
+      Entry{parent, p.depth + 1, fnv1a64("/", fnv1a64(component, p.hash)),
+            std::string(component)};
+  // Publish: the entry above must be complete before any reader can hold
+  // an id that reaches it.
+  count_.store(id + 1, std::memory_order_release);
+  children_.emplace(ChildKey{parent, std::string(component)}, id);
+  return id;
 }
 
 NameId NameTable::child(NameId parent, std::string_view component) {
-  assert(parent < entries_.size());
-  if (auto it = children_.find(ChildProbe{parent, component}); it != children_.end()) {
+  assert(parent < size());
+  {
+    std::shared_lock lk(mu_);
+    if (auto it = children_.find(ChildProbe{parent, component});
+        it != children_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lk(mu_);
+  // Re-check under the exclusive lock: another thread may have interned the
+  // same child between the two lock scopes.
+  if (auto it = children_.find(ChildProbe{parent, component});
+      it != children_.end()) {
     return it->second;
   }
-  // Incremental hash identical to Name::hash(): fold the component, then "/".
-  const std::uint64_t h = fnv1a64("/", fnv1a64(component, entries_[parent].hash));
-  const NameId id = static_cast<NameId>(entries_.size());
-  entries_.push_back(Entry{parent, entries_[parent].depth + 1, h, std::string(component)});
-  children_.emplace(ChildKey{parent, std::string(component)}, id);
-  return id;
+  return appendLocked(parent, component);
 }
 
 NameId NameTable::intern(const Name& name) {
@@ -36,6 +73,7 @@ NameId NameTable::intern(const Name& name) {
 
 NameId NameTable::findChild(NameId parent, std::string_view component) const {
   if (parent == kInvalidNameId) return kInvalidNameId;
+  std::shared_lock lk(mu_);
   const auto it = children_.find(ChildProbe{parent, component});
   return it == children_.end() ? kInvalidNameId : it->second;
 }
@@ -51,21 +89,21 @@ NameId NameTable::find(const Name& name) const {
 
 NameId NameTable::prefix(NameId id, std::uint32_t n) const {
   assert(n <= depth(id));
-  while (entries_[id].depth > n) id = entries_[id].parent;
+  while (entry(id).depth > n) id = entry(id).parent;
   return id;
 }
 
 bool NameTable::isPrefixOf(NameId a, NameId b) const {
-  const std::uint32_t da = entries_[a].depth;
-  if (da > entries_[b].depth) return false;
-  while (entries_[b].depth > da) b = entries_[b].parent;
+  const std::uint32_t da = entry(a).depth;
+  if (da > entry(b).depth) return false;
+  while (entry(b).depth > da) b = entry(b).parent;
   return a == b;
 }
 
 Name NameTable::name(NameId id) const {
   std::vector<std::string> comps(depth(id));
-  for (std::size_t i = comps.size(); i > 0; id = entries_[id].parent) {
-    comps[--i] = entries_[id].component;
+  for (std::size_t i = comps.size(); i > 0; id = entry(id).parent) {
+    comps[--i] = entry(id).component;
   }
   return Name(std::move(comps));
 }

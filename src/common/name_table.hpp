@@ -1,6 +1,10 @@
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,13 +35,27 @@ inline constexpr NameId kInvalidNameId = 0xffffffffu;
 //
 // Entries are never removed: names are tiny, the universe of CDs in a run is
 // bounded (map areas + control names), and stable ids are what make cached
-// NameIds in packets safe. Not thread-safe — the DES core is serial; the
-// multithreaded-DES roadmap item will shard or lock it.
+// NameIds in packets safe.
+//
+// Threading (read-mostly, shard-safe — see docs/ARCHITECTURE.md):
+//   * Id-based reads (parent/depth/hash/component/prefix/isPrefixOf/name)
+//     are lock-free. Entries live in fixed-size chunks whose addresses never
+//     move, an entry is fully written before its id is published through the
+//     release-store of count_, and entries are immutable afterwards. Any
+//     thread that legitimately holds a NameId may use it.
+//   * intern/child/find/findChild touch the children_ index and take a
+//     shared_mutex (shared for pure lookups, exclusive to insert).
+//   * Determinism across thread counts: NameId assignment order follows
+//     intern order, so workloads that want bit-identical ids must intern
+//     their name universe from sequential context (setup / the global lane)
+//     — which every harness in this repo does. Worker-thread interning is
+//     memory-safe but may permute ids between runs.
 class NameTable {
  public:
   static NameTable& instance();
 
   NameTable();
+  ~NameTable();
   NameTable(const NameTable&) = delete;
   NameTable& operator=(const NameTable&) = delete;
 
@@ -51,11 +69,11 @@ class NameTable {
   NameId find(const Name& name) const;
   NameId findChild(NameId parent, std::string_view component) const;
 
-  NameId parent(NameId id) const { return entries_[id].parent; }
-  std::uint32_t depth(NameId id) const { return entries_[id].depth; }
-  std::uint64_t hash(NameId id) const { return entries_[id].hash; }
+  NameId parent(NameId id) const { return entry(id).parent; }
+  std::uint32_t depth(NameId id) const { return entry(id).depth; }
+  std::uint64_t hash(NameId id) const { return entry(id).hash; }
   // Last component; "" for the root.
-  const std::string& component(NameId id) const { return entries_[id].component; }
+  const std::string& component(NameId id) const { return entry(id).component; }
 
   // Ancestor of `id` at depth `n` (n <= depth(id)).
   NameId prefix(NameId id, std::uint32_t n) const;
@@ -66,15 +84,29 @@ class NameTable {
   Name name(NameId id) const;
   std::string toString(NameId id) const;
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
 
  private:
   struct Entry {
-    NameId parent;
-    std::uint32_t depth;
-    std::uint64_t hash;
+    NameId parent = kInvalidNameId;
+    std::uint32_t depth = 0;
+    std::uint64_t hash = 0;
     std::string component;
   };
+
+  // Chunked stable storage: ids index into 1024-entry slabs that are
+  // allocated once and never reallocated, so a published Entry's address is
+  // stable for the table's lifetime (what makes the lock-free reads sound).
+  static constexpr std::size_t kChunkShift = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  static constexpr std::size_t kMaxChunks = 4096;  // 4M interned names
+
+  const Entry& entry(NameId id) const {
+    assert(id < size() && "NameId out of range");
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)
+        [id & kChunkMask];
+  }
 
   // Exact child lookup keyed (parent id, component). Heterogeneous hash/eq
   // so probes take a string_view without building a std::string.
@@ -109,7 +141,12 @@ class NameTable {
     }
   };
 
-  std::vector<Entry> entries_;
+  // Requires mu_ held exclusively. Appends and publishes a new entry.
+  NameId appendLocked(NameId parent, std::string_view component);
+
+  std::array<std::atomic<Entry*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> count_{0};
+  mutable std::shared_mutex mu_;  // guards children_ + appends
   std::unordered_map<ChildKey, NameId, ChildHash, ChildEq> children_;
 };
 

@@ -77,7 +77,14 @@ class CalendarQueue {
 
   void push(Event* e) {
     cachedMin_ = kNone;
-    if (size_ == 0) anchor(e->when);
+    // Keep the scan invariant "no pending event precedes the current day":
+    // the min scan trusts it (first hit wins), but a push can land behind the
+    // scan — peekMin legitimately walks the cursor to the next pending day,
+    // and a later push may target the gap it skipped (the parallel engine's
+    // round merges do this every round; serial call sites can too by pushing
+    // an event earlier than the first-ever push). Re-anchoring is O(1) and
+    // leaves pop order untouched — (when, seq) min is position-independent.
+    if (size_ == 0 || e->when < bucketTop_ - width_) anchor(e->when);
     auto& b = buckets_[bucketIndex(e->when)];
     b.push_back(e);
     std::push_heap(b.begin(), b.end(), later);

@@ -1,0 +1,165 @@
+#include "des/parallel.hpp"
+
+#include <algorithm>
+
+namespace gcopss {
+
+thread_local std::size_t ParallelSimulator::tlsShard_ =
+    ParallelSimulator::kNoShard;
+
+ParallelSimulator::ParallelSimulator(Simulator& globalLane, Options opts)
+    : global_(globalLane), lookahead_(opts.lookahead) {
+  assert(opts.workers >= 1 && "need at least one worker shard");
+  assert(lookahead_ > 0 && "zero lookahead cannot make progress");
+  shards_.reserve(opts.workers);
+  for (std::size_t i = 0; i < opts.workers; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  outbound_.resize(opts.workers * opts.workers);
+  mergeByDst_.resize(opts.workers);
+  threads_.reserve(opts.workers - 1);
+  for (std::size_t i = 1; i < opts.workers; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    exit_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ParallelSimulator::workerLoop(std::size_t self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return exit_ || round_ != seen; });
+      if (exit_) return;
+      seen = round_;
+    }
+    runRound(self);
+  }
+}
+
+void ParallelSimulator::barrierArrive() {
+  const auto gen = barrierGen_.load(std::memory_order_acquire);
+  const auto k = static_cast<std::uint32_t>(shards_.size());
+  if (barrierArrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == k) {
+    // Last arriver: reset the counter for the next barrier, then flip the
+    // generation to release the spinners. Threads only touch the counter
+    // again after observing the new generation, so the reset cannot race.
+    barrierArrived_.store(0, std::memory_order_relaxed);
+    barrierGen_.fetch_add(1, std::memory_order_release);
+  } else {
+    // Spin briefly, then yield: the engine must stay usable when workers
+    // outnumber cores (CI runners, sanitizer jobs, 1-core containers).
+    int spins = 0;
+    while (barrierGen_.load(std::memory_order_acquire) == gen) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelSimulator::runRound(std::size_t self) {
+  tlsShard_ = self;
+  try {
+    shards_[self]->runUntilBefore(window_);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(errorMu_);
+    if (!firstError_) firstError_ = std::current_exception();
+  }
+  barrierArrive();  // every shard done executing; outbound buffers final
+  try {
+    mergeInbound(self);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(errorMu_);
+    if (!firstError_) firstError_ = std::current_exception();
+  }
+  barrierArrive();  // every merge done; shard queues quiescent again
+  tlsShard_ = kNoShard;
+}
+
+void ParallelSimulator::mergeInbound(std::size_t dst) {
+  auto& in = mergeByDst_[dst];
+  in.clear();
+  const std::size_t k = shards_.size();
+  for (std::size_t src = 0; src < k; ++src) {
+    auto& buf = outbound_[src * k + dst];
+    for (auto& r : buf) in.push_back(std::move(r));
+    buf.clear();
+  }
+  // Deterministic admission order: the key is a pure function of the
+  // workload ((src, seq) pairs are producer-unique), so the destination
+  // shard assigns identical local seqs no matter how nodes were sharded.
+  std::sort(in.begin(), in.end(), [](const Remote& a, const Remote& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.key.sent != b.key.sent) return a.key.sent < b.key.sent;
+    if (a.key.src != b.key.src) return a.key.src < b.key.src;
+    return a.key.seq < b.key.seq;
+  });
+  Simulator& s = *shards_[dst];
+  for (auto& r : in) {
+    assert(r.when >= window_ && "merged event lands inside the round it left");
+    s.scheduleAt(r.when, std::move(r.fn));
+  }
+  in.clear();
+}
+
+std::uint64_t ParallelSimulator::run(SimTime until) {
+  const std::uint64_t before = totalEventsExecuted();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(errorMu_);
+      if (firstError_) std::rethrow_exception(firstError_);
+    }
+    const SimTime g = global_.nextEventWhen();
+    SimTime sMin = Simulator::kNoEvent;
+    for (auto& s : shards_) sMin = std::min(sMin, s->nextEventWhen());
+    const SimTime next = std::min(g, sMin);
+    if (next == Simulator::kNoEvent || next > until) break;
+
+    if (g <= sMin) {
+      // Sequential phase: the earliest pending event lives on the global
+      // lane. Line every shard's clock up on it (legal: no shard event
+      // precedes g) so the handler sees a consistent "now" everywhere, then
+      // run all global events at that timestamp with the workers parked.
+      for (auto& s : shards_) s->advanceTo(g);
+      global_.run(g);
+      ++globalPhases_;
+      continue;
+    }
+
+    // Parallel round over [sMin, W). W only depends on queue minima and the
+    // lookahead — never on thread timing — so the round structure itself is
+    // identical across runs and thread counts.
+    const SimTime cap = (until == INT64_MAX) ? INT64_MAX : until + 1;
+    SimTime w = (sMin > INT64_MAX - lookahead_) ? INT64_MAX
+                                                : sMin + lookahead_;
+    w = std::min(std::min(w, g), cap);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      window_ = w;
+      ++round_;
+    }
+    cv_.notify_all();
+    runRound(0);  // the calling thread is worker 0
+    ++rounds_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(errorMu_);
+    if (firstError_) std::rethrow_exception(firstError_);
+  }
+  return totalEventsExecuted() - before;
+}
+
+std::uint64_t ParallelSimulator::totalEventsExecuted() const {
+  std::uint64_t total = global_.totalEventsExecuted();
+  for (const auto& s : shards_) total += s->totalEventsExecuted();
+  return total;
+}
+
+}  // namespace gcopss

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "des/inline_handler.hpp"
+#include "des/simulator.hpp"
+
+namespace gcopss {
+
+// Conservative parallel discrete-event engine. Nodes are partitioned into
+// per-worker shards (the model layer — Network — decides the mapping); each
+// shard is a complete serial Simulator executing its own (when, seq) order,
+// and the engine advances all shards together in time-windowed rounds:
+//
+//   window = min(earliest pending event across shards) + lookahead
+//
+// with lookahead = the minimum cross-shard latency (for the network model,
+// the minimum link propagation delay). Inside a round every shard executes
+// its events with when < window on its own worker thread; anything a shard
+// produces for another shard (a packet delivery) necessarily lands at
+// when >= window, so it cannot race the round — it is buffered in a per-pair
+// SPSC queue and merged at the round barrier.
+//
+// Determinism contract (docs/ARCHITECTURE.md "Threading model"):
+//   * Cross-shard events carry a key (when, sentAt, srcNode, srcSeq) that is
+//     a pure function of the workload — never of thread timing or of the
+//     node->shard mapping. Each destination shard sorts its inbound buffers
+//     by that key before admitting them, so the local (when, seq) order every
+//     shard executes is bit-identical across thread counts, including 1.
+//   * Same-shard deliveries go through the same buffers as remote ones;
+//     otherwise "was the neighbour co-sharded?" would leak into tie-breaks.
+//   * Sequential ("global") events — anything scheduled on the global lane,
+//     e.g. harness lambdas that touch several nodes, fault-plan crash hooks —
+//     run with every worker parked, after all shard events strictly before
+//     their timestamp and before shard events at the same timestamp.
+// The serial engine resolves cross-node ties at identical (when, sentAt) by
+// global scheduling order instead of (srcNode, srcSeq); tests/test_parallel
+// pins that the two engines produce bit-identical per-node traces on the
+// golden workloads (and the reference serial goldens police the rest).
+class ParallelSimulator {
+ public:
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+  struct Options {
+    std::size_t workers = 2;
+    // Must be <= the minimum cross-shard event latency the model guarantees
+    // (Network::enableParallel checks it against the topology's min link
+    // delay). Rounds advance at least this far per barrier.
+    SimTime lookahead = ms(1);
+  };
+
+  // `globalLane` is the caller-owned sequential Simulator (the one the
+  // harness already has); its events become the global phase described above.
+  ParallelSimulator(Simulator& globalLane, Options opts);
+  ~ParallelSimulator();
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  std::size_t workerCount() const { return shards_.size(); }
+  SimTime lookahead() const { return lookahead_; }
+  Simulator& shard(std::size_t i) { return *shards_[i]; }
+  Simulator& globalLane() { return global_; }
+
+  // Shard index the calling thread is currently executing, or kNoShard when
+  // no parallel round is in flight (setup, global phase, teardown).
+  static std::size_t currentShard() { return tlsShard_; }
+
+  // Deterministic tie-break key for a cross-shard event: `sent` is the
+  // producing event's timestamp, (src, seq) a producer-unique id that does
+  // not depend on the shard mapping (the network layer uses the sender
+  // NodeId and a per-node send counter).
+  struct RemoteKey {
+    SimTime sent = 0;
+    std::uint64_t src = 0;
+    std::uint64_t seq = 0;
+  };
+
+  // Schedule `fn` at `when` on shard `dst`. From a worker thread this
+  // buffers into the per-pair queue (merged at the round barrier; `when`
+  // must be >= the current window end, which the lookahead guarantees for
+  // link traversals). From sequential context it pushes directly — the
+  // caller is the only thread touching the engine then.
+  template <typename F>
+  void post(std::size_t dst, SimTime when, RemoteKey key, F&& fn) {
+    const std::size_t cur = tlsShard_;
+    if (cur == kNoShard) {
+      shards_[dst]->scheduleAt(when, std::forward<F>(fn));
+      return;
+    }
+    assert(when >= window_ && "cross-shard event inside the current window");
+    outbound_[cur * shards_.size() + dst].push_back(
+        Remote{when, key, InlineHandler(std::forward<F>(fn))});
+  }
+
+  // Run until every lane drains or the earliest pending event is past
+  // `until` (inclusive, matching Simulator::run). Returns events executed by
+  // this call across all lanes.
+  std::uint64_t run(SimTime until = INT64_MAX);
+
+  std::uint64_t totalEventsExecuted() const;
+
+  // Instrumentation for the bench harness / EXPERIMENTS.md: how many
+  // parallel rounds and sequential (global-lane) phases the run used.
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t globalPhases() const { return globalPhases_; }
+
+ private:
+  struct Remote {
+    SimTime when;
+    RemoteKey key;
+    InlineHandler fn;
+  };
+
+  void workerLoop(std::size_t self);
+  void runRound(std::size_t self);
+  void mergeInbound(std::size_t dst);
+  void barrierArrive();
+  std::uint64_t drainGlobalPhase(SimTime g);
+
+  Simulator& global_;
+  SimTime lookahead_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  // Flattened [src][dst] buffers. A buffer is written only by worker `src`
+  // during the execution phase and read only by worker `dst` during the
+  // merge phase; the two barriers between the phases order every access.
+  std::vector<std::vector<Remote>> outbound_;
+  // Per-destination merge scratch; only worker `dst` touches slot `dst`.
+  std::vector<std::vector<Remote>> mergeByDst_;
+
+  // ---- round coordination (main thread acts as worker 0) ----
+  // Workers park on `cv_` between rounds; `round_` is bumped (under `mu_`)
+  // to publish a new window, `exit_` to shut down. Inside a round the two
+  // phase barriers are sense-reversing and yield-friendly: this engine must
+  // behave on oversubscribed hosts (CI runners, 1-core containers), so
+  // waiters spin only briefly before yielding.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t round_ = 0;
+  bool exit_ = false;
+  SimTime window_ = 0;
+  std::atomic<std::uint32_t> barrierArrived_{0};
+  std::atomic<std::uint32_t> barrierGen_{0};
+  std::vector<std::thread> threads_;  // workers 1..k-1
+  std::exception_ptr firstError_;
+  std::mutex errorMu_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t globalPhases_ = 0;
+
+  static thread_local std::size_t tlsShard_;
+};
+
+}  // namespace gcopss

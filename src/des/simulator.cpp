@@ -21,4 +21,18 @@ std::uint64_t Simulator::run(SimTime until) {
   return ran;
 }
 
+std::uint64_t Simulator::runUntilBefore(SimTime window) {
+  std::uint64_t ran = 0;
+  while (Event* top = queue_.peekMin()) {
+    if (top->when >= window) break;
+    queue_.popMin();
+    now_ = top->when;
+    top->fn();
+    pool_.release(top);
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
 }  // namespace gcopss

@@ -62,6 +62,30 @@ class Simulator {
   std::uint64_t totalEventsExecuted() const { return executed_; }
   std::size_t pendingEvents() const { return queue_.size(); }
 
+  // ---- windowed-execution API (used by ParallelSimulator shards) ----
+
+  // Timestamp of the earliest pending event, or kNoEvent when the queue is
+  // empty. (Non-const: locating the min warms the calendar-queue scan cache.)
+  static constexpr SimTime kNoEvent = INT64_MAX;
+  SimTime nextEventWhen() {
+    Event* top = queue_.peekMin();
+    return top ? top->when : kNoEvent;
+  }
+
+  // Execute every event with when < `window`, including events the handlers
+  // schedule into the same window. Ignores stop(); the windowed driver owns
+  // termination. Same (when, seq) pop order as run().
+  std::uint64_t runUntilBefore(SimTime window);
+
+  // Jump the clock to `t` without executing anything. Only legal when no
+  // pending event precedes `t` — the parallel driver uses it to line every
+  // shard up on the global-phase timestamp before a sequential event runs.
+  void advanceTo(SimTime t) {
+    assert(t >= now_ && "cannot advance backwards");
+    assert(nextEventWhen() >= t && "advancing over a pending event");
+    now_ = t;
+  }
+
  private:
   CalendarQueue queue_;
   EventPool pool_;

@@ -1,6 +1,7 @@
 #include "gcopss/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 #include "copss/deploy.hpp"
 #include "copss/hybrid.hpp"
 #include "copss/router.hpp"
+#include "des/parallel.hpp"
 #include "des/simulator.hpp"
 #include "gcopss/client.hpp"
 #include "ipserver/ipserver.hpp"
@@ -156,7 +158,9 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
   ropts.autoBalance = cfg.autoBalance;
   ropts.balance = cfg.balance;
   std::vector<copss::CopssRouter*> routers;
-  std::uint64_t rpSplits = 0;
+  // Relaxed atomic: split notifications fire on the owning router's shard in
+  // parallel runs; the count is only read after the queues drain.
+  std::atomic<std::uint64_t> rpSplits{0};
   if (cfg.hybrid) {
     // Edges are content-aware; the core forwards group multicast at IP speed.
     std::set<NodeId> coreSet(built.coreRouters.begin(), built.coreRouters.end());
@@ -178,26 +182,49 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
 
   // --- hosts ---
   const auto hosts = attachHosts(topo, built.hostAttach, trace.playerPositions.size(), rng);
-  metrics::LatencyRecorder latency(trace.records.size());
   std::vector<GCopssClient*> clients;
   clients.reserve(hosts.size());
   for (NodeId h : hosts) {
     const NodeId edge = topo.neighbors(h).front();
     auto& client = net.emplaceNode<GCopssClient>(h, net, edge);
-    client.setMulticastCallback(
-        [&latency](const copss::MulticastPacket& m, SimTime now) {
+    clients.push_back(&client);
+    dynamic_cast<copss::CopssRouter&>(net.node(edge)).markHostFace(h);
+  }
+
+  // --- event engine ---
+  // Every node is attached; switch to the parallel engine now (if asked) so
+  // the latency callbacks below can bind each client to its shard's
+  // recorder. threads == 0 keeps the classic serial loop untouched.
+  std::unique_ptr<ParallelSimulator> psim;
+  if (cfg.threads > 0) {
+    ParallelSimulator::Options po;
+    po.workers = cfg.threads;
+    po.lookahead = topo.minLinkDelay();
+    psim = std::make_unique<ParallelSimulator>(sim, po);
+    net.enableParallel(*psim);
+  }
+
+  // Delivery recorders: one per shard (one total when serial). A client's
+  // callback runs on its own shard, so each recorder has a single writer;
+  // mergeFrom() after the drain reproduces the serial aggregate exactly.
+  const std::size_t lanes = std::max<std::size_t>(1, cfg.threads);
+  std::vector<metrics::LatencyRecorder> latency;
+  latency.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) latency.emplace_back(trace.records.size());
+  for (std::size_t p = 0; p < clients.size(); ++p) {
+    metrics::LatencyRecorder* rec = &latency[net.shardOf(hosts[p])];
+    clients[p]->setMulticastCallback(
+        [rec](const copss::MulticastPacket& m, SimTime now) {
           if (m.seq >= kSnapshotSeqBase) return;  // broker traffic
-          latency.record(static_cast<std::size_t>(m.seq - 1), m.publishedAt, now);
+          rec->record(static_cast<std::size_t>(m.seq - 1), m.publishedAt, now);
         });
     if (cfg.twoStep) {
       // In two-step mode the pulled Data is the delivery.
-      client.setDataCallback(
-          [&latency](const ndn::DataPacketPtr& d, SimTime now) {
-            latency.record(static_cast<std::size_t>(d->seq - 1), d->createdAt, now);
+      clients[p]->setDataCallback(
+          [rec](const ndn::DataPacketPtr& d, SimTime now) {
+            rec->record(static_cast<std::size_t>(d->seq - 1), d->createdAt, now);
           });
     }
-    clients.push_back(&client);
-    dynamic_cast<copss::CopssRouter&>(net.node(edge)).markHostFace(h);
   }
 
   // Two-step needs NDN routes back to each publisher's content prefix.
@@ -271,13 +298,38 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
                                                     rec.objectId);
                    }
                  });
-  pump.start();
+  if (psim) {
+    // The pump's one-pending-event chain lives on the global lane, and every
+    // global event parks the workers — it would serialize the whole run.
+    // Pre-schedule each publication directly on its publisher's shard
+    // instead; scheduling happens here, in setup order, so the per-shard
+    // (when, seq) assignment is identical on every run and thread count.
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+      const trace::TraceRecord& rec = trace.records[i];
+      GCopssClient* c = clients[rec.playerId];
+      const bool twoStep = cfg.twoStep;
+      net.nodeSim(hosts[rec.playerId])
+          .scheduleAt(cfg.warmup + rec.time, [c, &rec, i, twoStep]() {
+            if (twoStep) {
+              c->publishTwoStep(rec.cd, rec.size, i + 1);
+            } else {
+              c->publish(rec.cd, rec.size, i + 1, rec.objectId);
+            }
+          });
+    }
+  } else {
+    pump.start();
+  }
 
   if (cfg.onWorldReady) {
     cfg.onWorldReady(GCopssRunConfig::WorldView{net, routers, clients});
   }
 
-  sim.run();
+  if (psim) {
+    psim->run();
+  } else {
+    sim.run();
+  }
 
   if (cfg.onRunDrained) {
     cfg.onRunDrained(GCopssRunConfig::WorldView{net, routers, clients});
@@ -285,12 +337,13 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
 
   RunSummary out;
   out.label = cfg.hybrid ? "hybrid-G-COPSS" : (cfg.twoStep ? "G-COPSS (two-step)" : "G-COPSS");
-  fillLatencySummary(out, latency, cfg.seriesPoints, cfg.cdfPoints);
+  for (std::size_t i = 1; i < latency.size(); ++i) latency[0].mergeFrom(latency[i]);
+  fillLatencySummary(out, latency[0], cfg.seriesPoints, cfg.cdfPoints);
   out.networkGB = toGB(net.totalLinkBytes());
   out.linkPackets = net.totalLinkPackets();
   out.drops = net.totalDrops();
-  out.rpSplits = rpSplits;
-  out.eventsExecuted = sim.totalEventsExecuted();
+  out.rpSplits = rpSplits.load(std::memory_order_relaxed);
+  out.eventsExecuted = psim ? psim->totalEventsExecuted() : sim.totalEventsExecuted();
   for (auto* r : routers) {
     out.bloomFalsePositives += r->st().bloomFalsePositives();
     if (const auto* edge = dynamic_cast<const copss::HybridEdgeRouter*>(r)) {

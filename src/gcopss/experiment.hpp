@@ -94,6 +94,14 @@ struct GCopssRunConfig {
   copss::SubscriptionTable::Options stOptions;
   std::uint64_t seed = 1;
   SimTime warmup = ms(500);
+
+  // Event engine. 0 = the classic serial Simulator. N >= 1 = the
+  // ParallelSimulator with N worker shards (nodes partitioned round-robin,
+  // conservative lookahead = the topology's min link delay). Results are
+  // bit-identical across N — including N=1 vs the serial engine — by the
+  // deterministic-merge contract (docs/ARCHITECTURE.md). Fault plans used
+  // with threads > 0 must be built withIndependentStreams().
+  std::size_t threads = 0;
   std::size_t seriesPoints = 60;
   std::size_t cdfPoints = 50;
 

@@ -19,6 +19,24 @@ void LatencyRecorder::record(std::size_t pubIndex, SimTime published, SimTime de
   p.sumMs += latMs;
 }
 
+void LatencyRecorder::mergeFrom(const LatencyRecorder& other) {
+  for (double s : other.samples_.samples()) samples_.add(s);
+  if (perPub_.size() < other.perPub_.size()) perPub_.resize(other.perPub_.size());
+  for (std::size_t i = 0; i < other.perPub_.size(); ++i) {
+    const PubPoint& o = other.perPub_[i];
+    if (o.count == 0) continue;
+    PubPoint& p = perPub_[i];
+    if (p.count == 0) {
+      p = o;
+      continue;
+    }
+    p.minMs = std::min(p.minMs, o.minMs);
+    p.maxMs = std::max(p.maxMs, o.maxMs);
+    p.sumMs += o.sumMs;
+    p.count += o.count;
+  }
+}
+
 std::vector<LatencyRecorder::SeriesPoint> LatencyRecorder::series(std::size_t points) const {
   std::vector<SeriesPoint> out;
   if (perPub_.empty() || points == 0) return out;

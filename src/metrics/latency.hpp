@@ -45,6 +45,12 @@ class LatencyRecorder {
 
   std::uint64_t deliveries() const { return samples_.count(); }
 
+  // Fold another recorder's deliveries into this one. Every aggregate here
+  // (SampleSet percentiles sort on demand; PubPoint keeps count/min/max/sum)
+  // is insensitive to sample order, so merging per-shard recorders from a
+  // parallel run reproduces the single-recorder serial result exactly.
+  void mergeFrom(const LatencyRecorder& other);
+
  private:
   SampleSet samples_;  // all delivery latencies, in ms
   std::vector<PubPoint> perPub_;

@@ -1,37 +1,84 @@
 #include "net/fault.hpp"
 
+#include <cassert>
+
 namespace gcopss {
 
-FaultInjector::Verdict FaultInjector::onTransmit(NodeId from, NodeId to, SimTime now) {
-  Verdict v;
-  for (const LinkFaultSpec& s : plan_.links) {
+namespace {
+
+// Shared draw logic: one pass over the matching specs, consuming `rng` in a
+// fixed order per spec so the stream stays aligned with the schedule
+// regardless of which faults fire.
+FaultInjector::Verdict drawVerdict(const FaultPlan& plan, NodeId from,
+                                   NodeId to, SimTime now, Rng& rng,
+                                   FaultStats& stats) {
+  FaultInjector::Verdict v;
+  for (const LinkFaultSpec& s : plan.links) {
     if (!s.applies(from, to)) continue;
     if (s.downAt(now)) {
-      ++stats_.linkDownLoss;
+      ++stats.linkDownLoss;
       v.drop = true;
       return v;  // a dead link needs no further draws
     }
-    // Draw in a fixed order per matching spec so the stream stays aligned
-    // with the schedule regardless of which faults fire.
-    if (s.lossProb > 0.0 && rng_.bernoulli(s.lossProb)) {
-      ++stats_.randomLoss;
+    if (s.lossProb > 0.0 && rng.bernoulli(s.lossProb)) {
+      ++stats.randomLoss;
       v.drop = true;
       return v;
     }
     if (s.jitterMax > 0) {
       const SimTime extra = static_cast<SimTime>(
-          rng_.uniform() * static_cast<double>(s.jitterMax));
+          rng.uniform() * static_cast<double>(s.jitterMax));
       if (extra > 0) {
-        ++stats_.jittered;
+        ++stats.jittered;
         v.extraDelay += extra;
       }
     }
-    if (s.reorderProb > 0.0 && rng_.bernoulli(s.reorderProb)) {
-      ++stats_.reordered;
+    if (s.reorderProb > 0.0 && rng.bernoulli(s.reorderProb)) {
+      ++stats.reordered;
       v.extraDelay += s.reorderDelay;
     }
   }
   return v;
+}
+
+}  // namespace
+
+FaultInjector::Verdict FaultInjector::onTransmit(NodeId from, NodeId to,
+                                                 SimTime now) {
+  if (!lanes_.empty()) {
+    const auto it = lanes_.find(laneKey(from, to));
+    assert(it != lanes_.end() && "transmit on a link absent from the lane set");
+    Lane& lane = it->second;
+    return drawVerdict(plan_, from, to, now, lane.rng, lane.stats);
+  }
+  return drawVerdict(plan_, from, to, now, rng_, stats_);
+}
+
+void FaultInjector::prepareLanes(
+    const std::vector<std::pair<NodeId, NodeId>>& directed) {
+  if (!plan_.independentStreams) return;
+  lanes_.clear();
+  lanes_.reserve(directed.size());
+  for (const auto& [from, to] : directed) {
+    // Substream seed: a pure function of (plan seed, direction), so a lane's
+    // draws never depend on other links' traffic or on lane build order.
+    const std::uint64_t seed =
+        mix64(plan_.seed ^ mix64(laneKey(from, to) ^ 0x9e3779b97f4a7c15ULL));
+    lanes_.emplace(laneKey(from, to), Lane(seed));
+  }
+}
+
+const FaultStats& FaultInjector::stats() const {
+  if (lanes_.empty()) return stats_;
+  agg_ = stats_;  // sequential counters: crashes, restarts
+  for (const auto& [key, lane] : lanes_) {
+    (void)key;
+    agg_.randomLoss += lane.stats.randomLoss;
+    agg_.linkDownLoss += lane.stats.linkDownLoss;
+    agg_.jittered += lane.stats.jittered;
+    agg_.reordered += lane.stats.reordered;
+  }
+  return agg_;
 }
 
 }  // namespace gcopss

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "net/packet.hpp"
@@ -70,6 +73,17 @@ struct FaultPlan {
   std::vector<LinkFaultSpec> links;
   std::vector<NodeFaultSpec> nodes;
 
+  // RNG-stream layout. false (default): one global stream consumed in
+  // transmit order — the historical behaviour the recorded chaos goldens
+  // were minted under, valid only on the serial engine. true: each directed
+  // link (from, to) draws from its own substream seeded by (seed, from, to).
+  // Verdicts then depend only on that link's own traffic order, which the
+  // deterministic merge preserves — so a (plan, seed) pair reproduces
+  // bit-identically at any thread count, including serial. Parallel runs
+  // with faults REQUIRE this (Network::enableParallel enforces it): the
+  // global stream's draw order would depend on worker interleaving.
+  bool independentStreams = false;
+
   bool empty() const { return links.empty() && nodes.empty(); }
 
   // --- builders (chainable; cover the common chaos-schedule shapes) ---
@@ -107,6 +121,10 @@ struct FaultPlan {
     nodes.push_back({node, at, restartAt});
     return *this;
   }
+  FaultPlan& withIndependentStreams() {
+    independentStreams = true;
+    return *this;
+  }
 
  private:
   LinkFaultSpec& wildcard() {
@@ -119,8 +137,13 @@ struct FaultPlan {
 };
 
 // Runtime companion of a FaultPlan: draws the per-packet decisions. Owned by
-// Network; one RNG stream, consumed in transmit order (which the DES makes
-// deterministic), so verdicts are a pure function of (plan, traffic).
+// Network. Default layout: one RNG stream consumed in transmit order (which
+// the serial DES makes deterministic), so verdicts are a pure function of
+// (plan, traffic). With plan.independentStreams, decisions for a directed
+// link come from that link's own lane — prepareLanes() builds every lane up
+// front from the topology, and at run time a lane is touched only by the
+// shard that owns the sending node, so onTransmit is safe to call
+// concurrently for distinct senders with no locks.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan)
@@ -133,14 +156,39 @@ class FaultInjector {
 
   Verdict onTransmit(NodeId from, NodeId to, SimTime now);
 
+  // Build the per-directed-link lanes (both directions of every topology
+  // link). Must be called before traffic when plan().independentStreams;
+  // a no-op otherwise. Network::applyFaultPlan does this.
+  void prepareLanes(const std::vector<std::pair<NodeId, NodeId>>& directed);
+  bool lanesPrepared() const { return !lanes_.empty(); }
+
   const FaultPlan& plan() const { return plan_; }
-  const FaultStats& stats() const { return stats_; }
+  // Aggregated view: with lanes, sums every lane's counters on top of the
+  // sequential counters (crashes/restarts). Only call from sequential
+  // context (setup, global phase, after run) — lane counters are owned by
+  // worker shards while a parallel round is in flight.
+  const FaultStats& stats() const;
   FaultStats& stats() { return stats_; }
 
  private:
+  struct Lane {
+    Rng rng;
+    FaultStats stats;
+    Lane() : rng(0) {}
+    explicit Lane(std::uint64_t seed) : rng(seed) {}
+  };
+  static std::uint64_t laneKey(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
   FaultPlan plan_;
   Rng rng_;
-  FaultStats stats_;
+  FaultStats stats_;  // global-stream draws + crashes/restarts
+  // Never mutated after prepareLanes (concurrent find() is read-only);
+  // mapped Lanes are mutated only by the sending node's owner shard.
+  std::unordered_map<std::uint64_t, Lane> lanes_;
+  mutable FaultStats agg_;  // scratch for the aggregated stats() view
 };
 
 }  // namespace gcopss

@@ -5,23 +5,26 @@
 
 namespace gcopss {
 
-Node::Node(NodeId id, Network& net) : id_(id), net_(&net) {}
+Node::Node(NodeId id, Network& net)
+    : id_(id), net_(&net), shardSim_(&net.sim()) {}
 
 SimTime Node::cpuBacklog() const {
-  const SimTime now = net_->sim_.now();
+  const SimTime now = shardSim_->now();
   return cpuFreeAt_ > now ? cpuFreeAt_ - now : 0;
 }
 
 void Node::send(NodeId toFace, PacketPtr pkt) { net_->transmit(id_, toFace, std::move(pkt)); }
 
 void Node::sendAfter(SimTime delay, NodeId toFace, PacketPtr pkt) {
-  net_->sim_.schedule(delay, [this, toFace, p = std::move(pkt)]() mutable {
+  // Scheduled on this node's own lane: the timer stays shard-local and the
+  // transmit it fires takes the normal cross-shard path.
+  shardSim_->schedule(delay, [this, toFace, p = std::move(pkt)]() mutable {
     net_->transmit(id_, toFace, std::move(p));
   });
 }
 
 void Node::extendCpuBusy(SimTime extra) {
-  const SimTime now = net_->sim_.now();
+  const SimTime now = shardSim_->now();
   cpuFreeAt_ = (cpuFreeAt_ > now ? cpuFreeAt_ : now) + extra;
 }
 
@@ -29,8 +32,8 @@ void Node::deliverLocal(PacketPtr pkt) {
   net_->enqueueCpu(id_, kInvalidNode, std::move(pkt));
 }
 
-Simulator& Node::sim() { return net_->sim_; }
-const Simulator& Node::sim() const { return net_->sim_; }
+Simulator& Node::sim() { return *shardSim_; }
+const Simulator& Node::sim() const { return *shardSim_; }
 const SimParams& Node::params() const { return net_->params_; }
 
 Network::Network(Simulator& sim, Topology& topo, SimParams params)
@@ -41,6 +44,7 @@ void Network::attach(std::unique_ptr<Node> node) {
   assert(idx < topo_.nodeCount() && "node id must come from the topology");
   if (nodes_.size() <= idx) nodes_.resize(idx + 1);
   assert(!nodes_[idx] && "node id already attached");
+  if (par_) node->shardSim_ = &par_->shard(shardOf_[idx]);
   nodes_[idx] = std::move(node);
 }
 
@@ -55,30 +59,108 @@ bool Network::hasNode(NodeId id) const {
   return idx < nodes_.size() && nodes_[idx] != nullptr;
 }
 
+void Network::meterTx(Bytes size) {
+  if (par_) {
+    const std::size_t sh = ParallelSimulator::currentShard();
+    if (sh != ParallelSimulator::kNoShard) {
+      shardMeters_[sh].bytes += size;
+      ++shardMeters_[sh].pkts;
+      return;
+    }
+  }
+  totalLinkBytes_ += size;
+  ++totalLinkPackets_;
+}
+
+void Network::meterDrop() {
+  if (par_) {
+    const std::size_t sh = ParallelSimulator::currentShard();
+    if (sh != ParallelSimulator::kNoShard) {
+      ++shardMeters_[sh].drops;
+      return;
+    }
+  }
+  ++totalDrops_;
+}
+
 void Network::transmit(NodeId from, NodeId to, PacketPtr pkt) {
   const Topology::Link& link = topo_.linkBetween(from, to);
-  totalLinkBytes_ += pkt->size;
-  ++totalLinkPackets_;
-  if (observer_) observer_->onWireSend(from, to, pkt, sim_.now());
+  meterTx(pkt->size);
+  // `now` on the sender's lane: identical to sim_.now() when serial, and in
+  // a parallel round the executing shard's clock (during a global phase all
+  // lanes agree — ParallelSimulator lines them up first).
+  Node& sender = node(from);
+  const SimTime now = sender.shardSim_->now();
+  if (observer_) observer_->onWireSend(from, to, pkt, now);
   const auto txTime = static_cast<SimTime>(
       static_cast<double>(pkt->size) * 8.0 / link.bandwidthBps * kSecond);
   SimTime arrival = link.delay + txTime;
   if (fault_) {
-    const auto verdict = fault_->onTransmit(from, to, sim_.now());
+    const auto verdict = fault_->onTransmit(from, to, now);
     if (verdict.drop) {
-      ++totalDrops_;
-      if (observer_) observer_->onDrop(to, pkt, DropReason::WireFault, sim_.now());
+      meterDrop();
+      if (observer_) observer_->onDrop(to, pkt, DropReason::WireFault, now);
       return;  // lost on the wire (random loss or down window)
     }
     arrival += verdict.extraDelay;  // jitter / reorder hold
+  }
+  if (par_) {
+    // Every delivery — same-shard or not — funnels through the engine's
+    // merge with a key that ignores the shard mapping, so per-node event
+    // order is identical at any thread count. (Capture fits InlineHandler's
+    // inline storage: 24 bytes.)
+    const ParallelSimulator::RemoteKey key{
+        now, static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)),
+        sender.sendSeq_++};
+    par_->post(shardOf_[static_cast<std::size_t>(to)], now + arrival, key,
+               [this, to, from, p = std::move(pkt)]() mutable {
+                 enqueueCpu(to, from, std::move(p));
+               });
+    return;
   }
   sim_.schedule(arrival, [this, to, from, p = std::move(pkt)]() mutable {
     enqueueCpu(to, from, std::move(p));
   });
 }
 
+void Network::enableParallel(ParallelSimulator& psim) {
+  // Packet refcounts cross shard boundaries the moment a multicast fans out,
+  // so a serial-refcount build must not reach this engine (satellite 4).
+  static_assert(PacketThreading::kAtomicRefCount,
+                "Network::enableParallel requires atomic Packet refcounts; "
+                "rebuild without GCOPSS_SERIAL_REFCOUNT for --threads > 1");
+  assert(&psim.globalLane() == &sim_ &&
+         "psim's global lane must be this network's Simulator");
+  assert(!observer_ && "packet observers are serial-only");
+  assert(psim.lookahead() <= topo_.minLinkDelay() &&
+         "conservative lookahead must not exceed the min link delay");
+  assert((!fault_ || fault_->plan().links.empty() ||
+          fault_->plan().independentStreams) &&
+         "parallel fault plans need FaultPlan::withIndependentStreams()");
+  par_ = &psim;
+  const std::size_t k = psim.workerCount();
+  shardOf_.resize(topo_.nodeCount());
+  for (std::size_t i = 0; i < shardOf_.size(); ++i) shardOf_[i] = i % k;
+  shardMeters_.assign(k, ShardMeter{});
+  for (auto& n : nodes_) {
+    if (n) n->shardSim_ = &psim.shard(shardOf_[static_cast<std::size_t>(n->id())]);
+  }
+}
+
 void Network::applyFaultPlan(const FaultPlan& plan) {
   fault_ = std::make_unique<FaultInjector>(plan);
+  if (plan.independentStreams) {
+    // Build every directed link's RNG lane up front: at run time a lane is
+    // touched only by the shard owning the sending endpoint, and the lane
+    // map itself is never mutated again.
+    std::vector<std::pair<NodeId, NodeId>> directed;
+    directed.reserve(topo_.links().size() * 2);
+    for (const Topology::Link& l : topo_.links()) {
+      directed.emplace_back(l.a, l.b);
+      directed.emplace_back(l.b, l.a);
+    }
+    fault_->prepareLanes(directed);
+  }
   for (const NodeFaultSpec& nf : fault_->plan().nodes) {
     sim_.scheduleAt(nf.crashAt, [this, id = nf.node]() {
       setNodeFailed(id, true);
@@ -104,30 +186,36 @@ void Network::setNodeFailed(NodeId id, bool failed) {
 }
 
 void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
-  if (observer_) observer_->onCpuEnqueue(at, fromFace, pkt, sim_.now());
+  // Runs on `at`'s own lane in parallel mode (the transmit merge routed it
+  // there), so the node's CPU state needs no synchronization. failed_ is
+  // written only from sequential phases, so the read below is safe too.
+  Node& n = node(at);
+  Simulator& lsim = *n.shardSim_;
+  if (observer_) observer_->onCpuEnqueue(at, fromFace, pkt, lsim.now());
   if (!failed_.empty() && failed_.count(at)) {
-    ++totalDrops_;
-    if (observer_) observer_->onDrop(at, pkt, DropReason::NodeFailed, sim_.now());
+    meterDrop();
+    if (observer_) observer_->onDrop(at, pkt, DropReason::NodeFailed, lsim.now());
     return;  // crashed node: blackhole
   }
-  Node& n = node(at);
-  const SimTime now = sim_.now();
+  const SimTime now = lsim.now();
   if (params_.dropBacklog > 0 && n.cpuBacklog() > params_.dropBacklog) {
     ++n.drops_;
-    ++totalDrops_;
-    if (observer_) observer_->onDrop(at, pkt, DropReason::BufferFull, sim_.now());
+    meterDrop();
+    if (observer_) observer_->onDrop(at, pkt, DropReason::BufferFull, lsim.now());
     return;  // finite buffer overflow: packet lost
   }
   const SimTime start = n.cpuFreeAt_ > now ? n.cpuFreeAt_ : now;
   const SimTime done = start + n.serviceTime(pkt);
   n.cpuFreeAt_ = done;
-  sim_.scheduleAt(done, [this, at, fromFace, p = std::move(pkt)]() mutable {
+  lsim.scheduleAt(done, [this, at, fromFace, p = std::move(pkt)]() mutable {
     if (failed_.count(at)) {
-      ++totalDrops_;
-      if (observer_) observer_->onDrop(at, p, DropReason::CrashedQueued, sim_.now());
+      meterDrop();
+      if (observer_) {
+        observer_->onDrop(at, p, DropReason::CrashedQueued, node(at).shardSim_->now());
+      }
       return;  // accepted pre-crash, but the CPU died with it still queued
     }
-    if (observer_) observer_->onHandle(at, fromFace, p, sim_.now());
+    if (observer_) observer_->onHandle(at, fromFace, p, node(at).shardSim_->now());
     node(at).handle(fromFace, p);
   });
 }

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <set>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "des/parallel.hpp"
 #include "des/simulator.hpp"
 #include "net/fault.hpp"
 #include "net/observer.hpp"
@@ -70,8 +72,16 @@ class Node {
   friend class Network;
   NodeId id_;
   Network* net_;
+  // The simulator lane this node's events run on. Serial runs: the network's
+  // Simulator. Parallel runs: the owning shard's Simulator (set by
+  // Network::enableParallel) — all of this node's timers, CPU completions
+  // and state live on that one lane, so handlers never need locks.
+  Simulator* shardSim_;
   SimTime cpuFreeAt_ = 0;
   std::uint64_t drops_ = 0;
+  // Per-node transmit counter: the (srcNode, srcSeq) half of the parallel
+  // engine's deterministic merge key. Independent of the shard mapping.
+  std::uint64_t sendSeq_ = 0;
 };
 
 // Binds a Topology to a Simulator and a set of Nodes; moves packets across
@@ -125,19 +135,68 @@ class Network {
   // Passive packet tap (see net/observer.hpp). At most one at a time; the
   // caller keeps ownership and must clear it (or outlive the Network) before
   // the observer dies. Null = no tap, zero overhead beyond a pointer test.
-  void setObserver(PacketObserver* obs) { observer_ = obs; }
+  // Serial-only: observers see a single global event order that does not
+  // exist under the parallel engine (asserted both ways).
+  void setObserver(PacketObserver* obs) {
+    assert(!(obs && par_) && "packet observers are serial-only");
+    observer_ = obs;
+  }
   PacketObserver* observer() const { return observer_; }
 
-  Bytes totalLinkBytes() const { return totalLinkBytes_; }
-  std::uint64_t totalLinkPackets() const { return totalLinkPackets_; }
-  std::uint64_t totalDrops() const { return totalDrops_; }
+  // Switch this network onto the parallel engine: nodes are partitioned
+  // round-robin across `psim`'s shards, every node's lane becomes its
+  // shard's Simulator, and transmits route through the engine's
+  // deterministic cross-shard merge. Call after attaching nodes and before
+  // scheduling any traffic; psim's global lane must be this network's
+  // Simulator. Requires: no observer, lookahead <= minLinkDelay, and any
+  // fault plan built withIndependentStreams().
+  void enableParallel(ParallelSimulator& psim);
+  bool parallelEnabled() const { return par_ != nullptr; }
+  ParallelSimulator* parallel() { return par_; }
+  std::size_t shardOf(NodeId id) const {
+    return par_ ? shardOf_[static_cast<std::size_t>(id)] : 0;
+  }
+  // The simulator lane `id`'s events run on (the network Simulator when
+  // serial). Harnesses use it to pre-schedule per-node work onto the right
+  // shard from sequential context.
+  Simulator& nodeSim(NodeId id) { return *node(id).shardSim_; }
+
+  // Aggregate load meters. In parallel runs the counters are kept per shard
+  // (summed here); only read them from sequential context.
+  Bytes totalLinkBytes() const { return sumMeters().bytes; }
+  std::uint64_t totalLinkPackets() const { return sumMeters().pkts; }
+  std::uint64_t totalDrops() const { return sumMeters().drops; }
   void resetLoadMeter() {
     totalLinkBytes_ = 0;
     totalLinkPackets_ = 0;
+    for (auto& m : shardMeters_) {
+      m.bytes = 0;
+      m.pkts = 0;
+    }
   }
 
  private:
   friend class Node;
+
+  // Cache-line-sized per-shard load meter: each worker bumps only its own
+  // slot during a round, so the hot path stays contention- and race-free.
+  struct alignas(64) ShardMeter {
+    Bytes bytes = 0;
+    std::uint64_t pkts = 0;
+    std::uint64_t drops = 0;
+  };
+  ShardMeter sumMeters() const {
+    ShardMeter t{totalLinkBytes_, totalLinkPackets_, totalDrops_};
+    for (const auto& m : shardMeters_) {
+      t.bytes += m.bytes;
+      t.pkts += m.pkts;
+      t.drops += m.drops;
+    }
+    return t;
+  }
+  void meterTx(Bytes size);
+  void meterDrop();
+
   Simulator& sim_;
   Topology& topo_;
   SimParams params_;
@@ -145,6 +204,9 @@ class Network {
   std::set<NodeId> failed_;
   std::unique_ptr<FaultInjector> fault_;
   PacketObserver* observer_ = nullptr;
+  ParallelSimulator* par_ = nullptr;
+  std::vector<std::size_t> shardOf_;  // NodeId -> shard (parallel only)
+  std::vector<ShardMeter> shardMeters_;
   Bytes totalLinkBytes_ = 0;
   std::uint64_t totalLinkPackets_ = 0;
   std::uint64_t totalDrops_ = 0;

@@ -31,6 +31,15 @@ class Topology {
 
   bool hasLink(NodeId a, NodeId b) const;
   const Link& linkBetween(NodeId a, NodeId b) const;
+  const std::vector<Link>& links() const { return links_; }
+  // Smallest propagation delay over all links; 0 on an empty graph. This is
+  // the upper bound for the parallel engine's conservative lookahead: no
+  // packet can cross a shard boundary in less simulated time.
+  SimTime minLinkDelay() const {
+    SimTime m = 0;
+    for (const Link& l : links_) m = (m == 0 || l.delay < m) ? l.delay : m;
+    return m;
+  }
   const std::vector<NodeId>& neighbors(NodeId n) const {
     return adjacency_.at(static_cast<std::size_t>(n));
   }

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/name_table.hpp"
+#include "des/parallel.hpp"
+#include "net/fault.hpp"
+#include "net/packet.hpp"
+#include "world_fixture.hpp"
+
+namespace gcopss::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine-level contracts: windowed rounds, deterministic merge, global-lane
+// sequencing. These drive ParallelSimulator directly, no network on top.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSimulator, CrossShardMergeOrdersByKeyNotArrival) {
+  Simulator global;
+  ParallelSimulator::Options po;
+  po.workers = 2;
+  po.lookahead = ms(1);
+  ParallelSimulator psim(global, po);
+
+  // Both shards post into shard 0 at the same target time. The merge must
+  // order by (sent, src, seq) regardless of which worker merged first.
+  std::vector<int> order;
+  psim.shard(0).scheduleAt(0, [&psim, &order]() {
+    psim.post(0, ms(2), {0, /*src=*/5, /*seq=*/0}, [&order]() { order.push_back(5); });
+  });
+  psim.shard(1).scheduleAt(0, [&psim, &order]() {
+    psim.post(0, ms(2), {0, /*src=*/3, /*seq=*/0}, [&order]() { order.push_back(3); });
+    psim.post(0, ms(2), {0, /*src=*/3, /*seq=*/1}, [&order]() { order.push_back(4); });
+  });
+  psim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3);  // lower src first at equal (when, sent)
+  EXPECT_EQ(order[1], 4);  // then its second send
+  EXPECT_EQ(order[2], 5);
+}
+
+TEST(ParallelSimulator, GlobalLaneRunsBeforeShardEventsAtSameTime) {
+  Simulator global;
+  ParallelSimulator::Options po;
+  po.workers = 2;
+  ParallelSimulator psim(global, po);
+
+  std::vector<int> order;
+  psim.shard(0).scheduleAt(ms(5), [&order]() { order.push_back(1); });
+  global.scheduleAt(ms(5), [&order]() { order.push_back(0); });
+  psim.shard(1).scheduleAt(ms(3), [&order]() { order.push_back(-1); });
+  psim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], -1);  // earlier shard event
+  EXPECT_EQ(order[1], 0);   // global phase wins the t=5ms tie
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(ParallelSimulator, CountsEventsAcrossAllLanes) {
+  Simulator global;
+  ParallelSimulator::Options po;
+  po.workers = 3;
+  ParallelSimulator psim(global, po);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      psim.shard(s).scheduleAt(ms(1 + i), []() {});
+    }
+  }
+  global.scheduleAt(ms(2), []() {});
+  const std::uint64_t ran = psim.run();
+  EXPECT_EQ(ran, 13u);
+  EXPECT_EQ(psim.totalEventsExecuted(), 13u);
+}
+
+TEST(ParallelSimulator, WorkerExceptionPropagatesToRun) {
+  Simulator global;
+  ParallelSimulator::Options po;
+  po.workers = 2;
+  ParallelSimulator psim(global, po);
+  psim.shard(1).scheduleAt(ms(1), []() { throw std::runtime_error("boom"); });
+  EXPECT_THROW(psim.run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism goldens: the same G-COPSS workload must produce bit-identical
+// per-client delivery traces on the serial engine and at threads {1, 2, 4}.
+// Per-client streams are the right observable: each client's callback order
+// is fully pinned by the merge contract, with no dependence on how shards
+// interleave in wall-clock time.
+// ---------------------------------------------------------------------------
+
+struct TraceDigest {
+  std::vector<std::uint64_t> perClient;  // order-sensitive per-client fold
+  std::uint64_t deliveries = 0;
+  std::uint64_t events = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t linkPackets = 0;
+
+  bool operator==(const TraceDigest& o) const {
+    return perClient == o.perClient && deliveries == o.deliveries &&
+           events == o.events && drops == o.drops && linkPackets == o.linkPackets;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const TraceDigest& d) {
+    os << "{deliveries=" << d.deliveries << " events=" << d.events
+       << " drops=" << d.drops << " linkPackets=" << d.linkPackets << " perClient=[";
+    for (std::size_t i = 0; i < d.perClient.size(); ++i) {
+      os << (i ? "," : "") << std::hex << d.perClient[i] << std::dec;
+    }
+    return os << "]}";
+  }
+};
+
+// One fixed workload over the 6-router ring: root + /1 subscribers, 60
+// publishes from client 1. `threads == 0` = serial engine. With `chaos`,
+// a loss/jitter/reorder plan (independent per-link streams) plus an RP
+// crash with heartbeat failover runs underneath.
+TraceDigest runWorld(std::size_t threads, bool chaos, std::uint64_t seed = 42) {
+  LineWorld w(6, {}, SimParams::largeScale(), /*ring=*/true);
+  w.singleRootRp(2);
+
+  std::unique_ptr<ParallelSimulator> psim;
+  if (threads > 0) {
+    w.checker.reset();  // observers are serial-only
+    ParallelSimulator::Options po;
+    po.workers = threads;
+    po.lookahead = w.topo->minLinkDelay();
+    psim = std::make_unique<ParallelSimulator>(*w.sim, po);
+  }
+
+  if (chaos) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.loseEverywhere(0.03)
+        .jitterEverywhere(us(400))
+        .reorderEverywhere(0.05, us(800))
+        .crash(w.routerIds[2], ms(150), ms(400))
+        .withIndependentStreams();
+    w.net->applyFaultPlan(plan);
+  }
+
+  if (psim) w.net->enableParallel(*psim);
+
+  TraceDigest d;
+  d.perClient.assign(w.clients.size(), 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < w.clients.size(); ++i) {
+    std::uint64_t* h = &d.perClient[i];
+    w.clients[i]->setMulticastCallback(
+        [h](const copss::MulticastPacket& m, SimTime now) {
+          *h = mix64(*h ^ m.seq);
+          *h = mix64(*h ^ static_cast<std::uint64_t>(now));
+        });
+  }
+
+  if (chaos) {
+    gc::GCopssClient::ReliableOptions opts;
+    opts.ackTimeout = ms(30);
+    opts.maxRetries = 6;
+    w.clients[1]->enableReliablePublish(opts);
+  }
+
+  w.sim->scheduleAt(0, [&w, chaos]() {
+    w.clients[0]->subscribe(Name());
+    w.clients[5]->subscribe(Name::parse("/1"));
+    if (chaos) {
+      // RP (router 2) heartbeats to standby router 4; the crash at 150ms
+      // triggers a failover, the restart at 400ms a reclaim/demote.
+      w.routers[2]->startRpHeartbeats(w.routerIds[4], ms(10), ms(600));
+      w.routers[4]->watchRpLiveness(w.routerIds[2], ms(25), ms(600));
+    }
+  });
+  for (std::uint64_t s = 1; s <= 60; ++s) {
+    const SimTime at = ms(20) + ms(5) * static_cast<SimTime>(s - 1);
+    if (psim) {
+      // Publish on the client's own shard, as the harness does.
+      w.net->nodeSim(w.clientIds[1]).scheduleAt(at, [&w, s]() {
+        w.clients[1]->publish(Name::parse("/1/1"), 15, s);
+      });
+    } else {
+      w.sim->scheduleAt(at, [&w, s]() {
+        w.clients[1]->publish(Name::parse("/1/1"), 15, s);
+      });
+    }
+  }
+
+  if (psim) {
+    psim->run();
+    d.events = psim->totalEventsExecuted();
+  } else {
+    w.sim->run();
+    d.events = w.sim->totalEventsExecuted();
+  }
+  std::uint64_t delivered = 0;
+  for (std::uint64_t h : d.perClient) delivered += (h != 0x9e3779b97f4a7c15ULL);
+  d.deliveries = delivered;
+  d.drops = w.net->totalDrops();
+  d.linkPackets = w.net->totalLinkPackets();
+  return d;
+}
+
+TEST(ParallelDeterminism, FaultFreeTraceIdenticalAcrossThreadCounts) {
+  const TraceDigest serial = runWorld(0, /*chaos=*/false);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const TraceDigest par = runWorld(threads, /*chaos=*/false);
+    EXPECT_EQ(par, serial) << "threads=" << threads
+                           << ": per-client delivery traces must be "
+                              "bit-identical to the serial engine";
+  }
+}
+
+TEST(ParallelDeterminism, ChaosWithFailoverSeedStableAcrossThreadCounts) {
+  const TraceDigest serial = runWorld(0, /*chaos=*/true);
+  EXPECT_GT(serial.drops, 0u) << "the plan must actually inject faults";
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const TraceDigest par = runWorld(threads, /*chaos=*/true);
+    EXPECT_EQ(par, serial) << "threads=" << threads
+                           << ": chaos runs must be seed-stable across "
+                              "thread counts";
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedRunsAtFourThreadsAreIdentical) {
+  const TraceDigest a = runWorld(4, /*chaos=*/true);
+  const TraceDigest b = runWorld(4, /*chaos=*/true);
+  EXPECT_EQ(a, b) << "thread scheduling must not leak into results";
+}
+
+TEST(ParallelDeterminism, DifferentSeedsDiverge) {
+  const TraceDigest a = runWorld(2, /*chaos=*/true, 42);
+  const TraceDigest b = runWorld(2, /*chaos=*/true, 43);
+  EXPECT_FALSE(a == b) << "the seed must steer the per-link fault lanes";
+}
+
+// ---------------------------------------------------------------------------
+// Shared-structure hammers (primarily TSan targets).
+// ---------------------------------------------------------------------------
+
+TEST(ParallelShared, PacketRefCountSurvivesConcurrentRetainRelease) {
+  static_assert(PacketThreading::kAtomicRefCount,
+                "test suite is built with atomic refcounts");
+  auto base = makePacket<Packet>(Packet::Kind::Multicast, Bytes{64});
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&base]() {
+      for (int i = 0; i < kIters; ++i) {
+        PacketPtr copy = base;        // retain
+        PacketPtr second = copy;      // retain
+        copy.reset();                 // release
+        // `second` releases at scope end
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(base->size, Bytes{64});  // object alive and intact
+}
+
+TEST(ParallelShared, NameTableConcurrentInternAndRead) {
+  NameTable table;
+  // Sequential pre-intern (the documented determinism contract), then
+  // concurrent readers doing id-walks while writers extend fresh subtrees.
+  std::vector<NameId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(table.intern(Name::parse("/pre/" + std::to_string(i))));
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&table, t]() {  // writers: disjoint subtrees
+      for (int i = 0; i < 500; ++i) {
+        table.intern(Name::parse("/w" + std::to_string(t) + "/" + std::to_string(i)));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&table, &ids, &failed]() {  // readers: id walks
+      for (int round = 0; round < 500; ++round) {
+        for (NameId id : ids) {
+          if (table.depth(id) != 2 || table.parent(id) == kInvalidNameId ||
+              !table.isPrefixOf(kRootNameId, id)) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  // Interleaved interning stayed structurally sound.
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < 500; ++i) {
+      const Name n = Name::parse("/w" + std::to_string(t) + "/" + std::to_string(i));
+      const NameId id = table.find(n);
+      ASSERT_NE(id, kInvalidNameId);
+      EXPECT_EQ(table.name(id).toString(), n.toString());
+    }
+  }
+}
+
+TEST(ParallelShared, FaultLanesAreSeedStablePerLink) {
+  // Two injectors over the same plan must agree even if one interleaves
+  // draws across links differently: each directed link owns its stream.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.loseEverywhere(0.2).jitterEverywhere(us(500)).withIndependentStreams();
+  const std::vector<std::pair<NodeId, NodeId>> links = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+
+  FaultInjector a(plan);
+  a.prepareLanes(links);
+  FaultInjector b(plan);
+  b.prepareLanes(links);
+
+  // a: draw link (0,1) x3 then (1,2) x3. b: interleaved. Same per-link
+  // verdict sequences either way.
+  std::vector<SimTime> a01, a12, b01, b12;
+  for (int i = 0; i < 3; ++i) {
+    auto v = a.onTransmit(0, 1, ms(i));
+    a01.push_back(v.drop ? -1 : v.extraDelay);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto v = a.onTransmit(1, 2, ms(i));
+    a12.push_back(v.drop ? -1 : v.extraDelay);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto v = b.onTransmit(1, 2, ms(i));
+    b12.push_back(v.drop ? -1 : v.extraDelay);
+    v = b.onTransmit(0, 1, ms(i));
+    b01.push_back(v.drop ? -1 : v.extraDelay);
+  }
+  EXPECT_EQ(a01, b01);
+  EXPECT_EQ(a12, b12);
+}
+
+}  // namespace
+}  // namespace gcopss::test

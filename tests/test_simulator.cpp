@@ -16,6 +16,41 @@ TEST(Simulator, ExecutesInTimeOrder) {
   EXPECT_EQ(sim.now(), ms(30));
 }
 
+// Regression: the calendar queue's min scan must survive a push that lands
+// behind its cursor. Two ways to get there: (a) the first pushes anchor the
+// calendar at a late timestamp and a later push precedes them; (b) a peek
+// walks the cursor to the next pending day and a push then targets the gap
+// it skipped (the parallel engine's round merges do this every round).
+TEST(Simulator, PushBehindTheScanCursorStaysOrdered) {
+  {  // (a) earlier-than-anchor push before running
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 40; ++i) {
+      sim.scheduleAt(ms(20 + 5 * i), [&order, i]() { order.push_back(i); });
+    }
+    sim.scheduleAt(ms(1), [&order]() { order.push_back(-1); });
+    sim.run();
+    ASSERT_EQ(order.size(), 41u);
+    EXPECT_EQ(order.front(), -1);
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i) + 1], i);
+  }
+  {  // (b) push into the day window a peek skipped over
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 40; ++i) {
+      sim.scheduleAt(ms(10) * (i + 1), [&order, i]() { order.push_back(i); });
+    }
+    (void)sim.runUntilBefore(ms(11));           // executes i=0, peeks i=1 at 20ms
+    EXPECT_EQ(sim.nextEventWhen(), ms(20));     // cursor now on 20ms's day
+    sim.scheduleAt(ms(12), [&order]() { order.push_back(-1); });  // the gap
+    sim.run();
+    ASSERT_EQ(order.size(), 41u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], -1);
+    EXPECT_EQ(order[2], 1);
+  }
+}
+
 TEST(Simulator, SameTimestampIsFifo) {
   Simulator sim;
   std::vector<int> order;
