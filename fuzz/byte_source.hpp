@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace gcopss::fuzz {
+
+// Deterministic reader over the fuzzer-provided byte string. Every structural
+// decision the generators make is a pure function of the input bytes, so
+// libFuzzer's mutations explore the packet space and any failure reproduces
+// bit-for-bit from the saved input. When the input runs dry every read
+// returns zero — the generator degenerates to a fixed small packet instead
+// of failing, which keeps short inputs valid seeds.
+class ByteSource {
+ public:
+  ByteSource(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool empty() const { return pos_ >= size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return empty() ? 0 : data_[pos_++]; }
+
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8()) |
+           static_cast<std::uint16_t>(u8()) << 8;
+  }
+
+  std::uint32_t u32() {
+    return static_cast<std::uint32_t>(u16()) |
+           static_cast<std::uint32_t>(u16()) << 16;
+  }
+
+  std::uint64_t u64() {
+    return static_cast<std::uint64_t>(u32()) |
+           static_cast<std::uint64_t>(u32()) << 32;
+  }
+
+  // Uniform-ish pick in [0, bound) (bound > 0). Modulo bias is irrelevant
+  // here: coverage feedback, not distribution, drives exploration.
+  std::uint32_t below(std::uint32_t bound) { return u32() % bound; }
+
+  bool boolean() { return (u8() & 1) != 0; }
+
+  // A short printable token (name component material).
+  std::string token(std::size_t maxLen) {
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    const std::size_t len = 1 + below(static_cast<std::uint32_t>(maxLen));
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(kAlphabet[u8() % (sizeof(kAlphabet) - 1)]);
+    }
+    return s;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gcopss::fuzz

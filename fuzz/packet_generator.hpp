@@ -1,0 +1,27 @@
+#pragma once
+
+#include "common/name.hpp"
+#include "fuzz/byte_source.hpp"
+#include "net/packet.hpp"
+#include "wire/codec.hpp"
+
+namespace gcopss::fuzz {
+
+// Structure-aware generator: consume bytes from `src`, produce a VALID packet
+// of an arbitrary wire tag — including nested Multicast-in-Interest frames,
+// epoch vectors on FibAdd/RpHandoff/RpReclaim/RpDemote, and Names at the
+// decoder's depth/width boundaries. Everything the wire codec can encode,
+// this can emit; the round-trip harness then asserts bit-exact
+// encode→decode→encode stability.
+//
+// `depth` is the encapsulation depth of the packet being generated (the
+// outermost call passes 1, matching the codec's frame-depth convention); the
+// generator never nests beyond wire::kMaxDecodeDepth.
+PacketPtr generatePacket(ByteSource& src, std::size_t depth = 1);
+
+// A decodable Name: 0..kMaxNameComponents components, each within
+// kMaxComponentBytes. Mostly short names from a small alphabet (so the ST /
+// interner sees collisions and shared prefixes), occasionally boundary-deep.
+Name generateName(ByteSource& src);
+
+}  // namespace gcopss::fuzz

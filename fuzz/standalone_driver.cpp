@@ -1,0 +1,59 @@
+// Replay driver linked into each harness when libFuzzer is unavailable
+// (non-Clang toolchains) and for the FuzzRegression ctest suite: run every
+// file / directory argument through LLVMFuzzerTestOneInput once, in sorted
+// order, and exit 0 iff none of them tripped an invariant. libFuzzer-style
+// flag arguments (leading '-') are ignored so the same ctest command line
+// works under both builds.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int runFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());  // aborts on violation
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag: ignore
+    const fs::path p(arg);
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file()) files.push_back(e.path());
+      }
+    } else if (fs::exists(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "no such input: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+  for (const auto& f : files) {
+    if (runFile(f) != 0) return 1;
+  }
+  std::printf("replayed %zu inputs, all clean\n", files.size());
+  return 0;
+}

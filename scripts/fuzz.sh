@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Fuzzing driver for the fuzz/ harnesses (see TESTING.md "Fuzzing").
+#
+#   scripts/fuzz.sh build                 build the fuzzer preset (needs clang)
+#   scripts/fuzz.sh run <harness> [secs]  fuzz from the committed corpus
+#                                         (default 60s), new findings land in
+#                                         a scratch dir and get merged back
+#   scripts/fuzz.sh replay                replay the full committed corpus
+#                                         through every harness (any build)
+#   scripts/fuzz.sh minimize <harness> <crash-file>
+#                                         shrink a crashing input
+#   scripts/fuzz.sh merge <harness>       minimize the committed corpus
+#                                         (coverage-preserving dedup)
+#   scripts/fuzz.sh seeds                 regenerate the deterministic seed
+#                                         corpus under tests/corpus/
+#
+# A crash becomes a regression test by copying the (minimized) input into
+# tests/corpus/<harness>/ and committing it: the FuzzRegression ctest suite
+# replays every committed file in the normal build, forever.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HARNESSES=(fuzz_wire_decode fuzz_wire_roundtrip fuzz_st_bloom)
+FUZZ_BUILD=build-fuzz
+CORPUS=tests/corpus
+
+have_clang() { command -v clang++ >/dev/null 2>&1; }
+
+build_fuzzer() {
+  if ! have_clang; then
+    echo "error: clang++ not found; the fuzzer preset needs Clang (libFuzzer)." >&2
+    echo "hint: 'scripts/fuzz.sh replay' works with any toolchain." >&2
+    exit 1
+  fi
+  cmake --preset fuzzer
+  cmake --build --preset fuzzer -j "$(nproc)" \
+    --target "${HARNESSES[@]}" seed_corpus
+}
+
+# Replay uses whichever build exists, preferring the real fuzzer build.
+replay_bin() {
+  local harness=$1
+  for dir in "$FUZZ_BUILD" build build-ci build-asan; do
+    if [[ -x "$dir/fuzz/$harness" ]]; then
+      echo "$dir/fuzz/$harness"
+      return
+    fi
+  done
+  echo "error: no built $harness; run 'scripts/fuzz.sh build' or a normal build" >&2
+  exit 1
+}
+
+cmd=${1:-}
+case "$cmd" in
+  build)
+    build_fuzzer
+    ;;
+  run)
+    harness=${2:?usage: fuzz.sh run <harness> [seconds]}
+    secs=${3:-60}
+    [[ -x "$FUZZ_BUILD/fuzz/$harness" ]] || build_fuzzer
+    findings=$(mktemp -d)
+    trap 'rm -rf "$findings"' EXIT
+    # findings dir first: new coverage-increasing inputs are written there.
+    "$FUZZ_BUILD/fuzz/$harness" -max_total_time="$secs" -print_final_stats=1 \
+      "$findings" "$CORPUS/$harness"
+    new=$(find "$findings" -type f | wc -l)
+    if [[ "$new" -gt 0 ]]; then
+      echo "merging $new new coverage-increasing input(s) into $CORPUS/$harness"
+      "$FUZZ_BUILD/fuzz/$harness" -merge=1 "$CORPUS/$harness" "$findings"
+    fi
+    ;;
+  replay)
+    for harness in "${HARNESSES[@]}"; do
+      bin=$(replay_bin "$harness")
+      echo "== $harness ($bin)"
+      if [[ "$bin" == $FUZZ_BUILD/* ]]; then
+        "$bin" -runs=0 "$CORPUS/$harness"
+      else
+        "$bin" "$CORPUS/$harness"
+      fi
+    done
+    ;;
+  minimize)
+    harness=${2:?usage: fuzz.sh minimize <harness> <crash-file>}
+    crash=${3:?usage: fuzz.sh minimize <harness> <crash-file>}
+    [[ -x "$FUZZ_BUILD/fuzz/$harness" ]] || build_fuzzer
+    "$FUZZ_BUILD/fuzz/$harness" -minimize_crash=1 -runs=10000 "$crash"
+    ;;
+  merge)
+    harness=${2:?usage: fuzz.sh merge <harness>}
+    [[ -x "$FUZZ_BUILD/fuzz/$harness" ]] || build_fuzzer
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    mv "$CORPUS/$harness" "$tmp/old"
+    mkdir -p "$CORPUS/$harness"
+    "$FUZZ_BUILD/fuzz/$harness" -merge=1 "$CORPUS/$harness" "$tmp/old"
+    ;;
+  seeds)
+    for dir in "$FUZZ_BUILD" build build-ci; do
+      if [[ -x "$dir/fuzz/seed_corpus" ]]; then
+        "$dir/fuzz/seed_corpus" "$CORPUS"
+        exit 0
+      fi
+    done
+    echo "error: seed_corpus not built; build any preset first" >&2
+    exit 1
+    ;;
+  *)
+    sed -n '2,20p' "$0"
+    exit 2
+    ;;
+esac

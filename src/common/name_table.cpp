@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <mutex>
+#include <stdexcept>
 
 namespace gcopss {
 
@@ -27,7 +28,11 @@ NameTable::~NameTable() {
 
 NameId NameTable::appendLocked(NameId parent, std::string_view component) {
   const NameId id = count_.load(std::memory_order_relaxed);
-  assert((id >> kChunkShift) < kMaxChunks && "NameTable chunk space exhausted");
+  // Always-on (not assert): packet decode interns attacker-controlled names,
+  // so exhaustion must be a catchable error in release builds too.
+  if ((id >> kChunkShift) >= kMaxChunks) {
+    throw std::length_error("NameTable capacity exhausted");
+  }
   auto& slot = chunks_[id >> kChunkShift];
   Entry* chunk = slot.load(std::memory_order_relaxed);
   if (!chunk) {
@@ -109,5 +114,17 @@ Name NameTable::name(NameId id) const {
 }
 
 std::string NameTable::toString(NameId id) const { return name(id).toString(); }
+
+void NameTable::resetForTesting() {
+  std::unique_lock lk(mu_);
+  children_.clear();
+  // Re-publish count 1 first so no (misbehaving) concurrent reader can see a
+  // freed chunk through a stale id; chunk 0 and its root entry stay live.
+  count_.store(1, std::memory_order_release);
+  for (std::size_t i = 1; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
 
 }  // namespace gcopss

@@ -86,6 +86,18 @@ class NameTable {
 
   std::size_t size() const { return count_.load(std::memory_order_acquire); }
 
+  // Hard ceiling on interned names; intern/child throw std::length_error
+  // once it is reached (adversarial decode input must not be able to grow
+  // the process-global table without bound).
+  static constexpr std::size_t capacity() { return kMaxChunks * kChunkSize; }
+
+  // Drop every entry except the root. STRICTLY for test/fuzz harnesses run
+  // from single-threaded context: every previously issued NameId (other than
+  // kRootNameId) becomes dangling, so no simulator state may outlive the
+  // call. Fuzz harnesses use it to keep the table from accreting across
+  // millions of hostile decodes.
+  void resetForTesting();
+
  private:
   struct Entry {
     NameId parent = kInvalidNameId;

@@ -742,6 +742,15 @@ void CopssRouter::onCrash() {
   watchedEpochs_.clear();
   lastHeartbeatAt_ = 0;
   failedOver_ = false;
+  if (opts_.epochStorageLoss) {
+    // Chaos: epoch storage rolled back. Forget every observed high-water
+    // mark and re-forge each held claim at epoch 1 via the forging overload
+    // — exactly the split-brain input the EpochMonotonic audit exists to
+    // catch.
+    epochSeen_.clear();
+    const std::set<Name> held = rpPrefixes_;
+    for (const Name& p : held) becomeRp(p, 1);
+  }
 }
 
 void CopssRouter::onRestart() {

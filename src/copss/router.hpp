@@ -46,6 +46,12 @@ class CopssRouter : public Node {
     // epoch owns them now. Off reproduces the pre-epoch split-brain (a
     // restarted RP silently re-advertises) for regression tests.
     bool epochReconcile = true;
+    // Chaos knob: the RP's epoch storage rolls back on crash — the restarted
+    // node forgets its high-water mark and re-claims every held prefix at
+    // epoch 1, as if the counter lived on storage that was restored from an
+    // old backup. The EpochMonotonic audit must flag the regression (unless
+    // epochReconcile talks the node back up to a current epoch first).
+    bool epochStorageLoss = false;
   };
 
   CopssRouter(NodeId id, Network& net) : CopssRouter(id, net, Options{}) {}

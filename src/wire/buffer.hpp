@@ -114,12 +114,27 @@ class WireReader {
     }
   }
 
-  std::string lengthPrefixed() {
+  // `cap` bounds the declared length before any allocation happens, so a
+  // hostile prefix cannot request an oversized buffer (it throws whether or
+  // not the bytes are actually present).
+  std::string lengthPrefixed(std::uint64_t cap = UINT64_MAX) {
     const std::uint64_t n = varint();
+    if (n > cap) throw WireError("length prefix exceeds cap");
     need(n);
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  // Split off a reader over the next `n` bytes and advance past them. The
+  // sub-reader's bounds are exactly those `n` bytes, so a length-delimited
+  // inner frame that reads past its declared end throws truncation inside
+  // the sub-reader instead of silently consuming the outer frame's bytes.
+  WireReader subReader(std::uint64_t n) {
+    need(n);
+    WireReader sub(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += n;
+    return sub;
   }
 
  private:

@@ -10,27 +10,22 @@ namespace gcopss::wire {
 
 namespace {
 
-// Wire type tags (stable across versions; append-only).
-enum class Tag : std::uint8_t {
-  Interest = 1,
-  Data = 2,
-  Subscribe = 3,
-  Unsubscribe = 4,
-  Multicast = 5,
-  GameUpdate = 6,
-  SnapshotObject = 7,
-  FibAdd = 8,
-  FibRemove = 9,
-  RpHandoff = 10,
-  StJoin = 11,
-  StConfirm = 12,
-  StLeave = 13,
-  IpUnicast = 14,
-  UpdateSegment = 15,
-  Announce = 16,
-  RpReclaim = 17,
-  RpDemote = 18,
-};
+using Tag = WireTag;
+
+// Read a count prefix and refuse it unless (a) it is under `max` and (b) the
+// input actually has room for `count` items of at least `minBytesPer` bytes
+// each. (b) is what keeps every reserve() below input-linear: a hostile
+// 5-byte varint can claim 2^32 items, but it cannot conjure the bytes those
+// items would occupy.
+std::uint64_t boundedCount(WireReader& r, std::uint64_t max, std::uint64_t minBytesPer,
+                           const char* what) {
+  const std::uint64_t count = r.varint();
+  if (count > max) throw WireError(std::string(what) + " count exceeds cap");
+  if (minBytesPer > 0 && count > r.remaining() / minBytesPer) {
+    throw WireError(std::string(what) + " count overruns input");
+  }
+  return count;
+}
 
 void putName(WireWriter& w, const Name& n) {
   w.varint(n.size());
@@ -38,11 +33,13 @@ void putName(WireWriter& w, const Name& n) {
 }
 
 Name getName(WireReader& r) {
-  const std::uint64_t count = r.varint();
-  if (count > 1024) throw WireError("name too deep");
+  const std::uint64_t count =
+      boundedCount(r, kMaxNameComponents, 1, "name component");
   std::vector<std::string> comps;
   comps.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) comps.push_back(r.lengthPrefixed());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    comps.push_back(r.lengthPrefixed(kMaxComponentBytes));
+  }
   return Name(std::move(comps));
 }
 
@@ -52,8 +49,7 @@ void putNames(WireWriter& w, const std::vector<Name>& names) {
 }
 
 std::vector<Name> getNames(WireReader& r) {
-  const std::uint64_t count = r.varint();
-  if (count > 65536) throw WireError("too many names");
+  const std::uint64_t count = boundedCount(r, kMaxNamesPerPacket, 1, "name list");
   std::vector<Name> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) out.push_back(getName(r));
@@ -73,6 +69,7 @@ void putEpochs(WireWriter& w, const std::vector<std::uint64_t>& epochs) {
 std::vector<std::uint64_t> getEpochs(WireReader& r, std::size_t nameCount) {
   const std::uint64_t count = r.varint();
   if (count != 0 && count != nameCount) throw WireError("epoch/prefix count mismatch");
+  if (count > r.remaining() / 8) throw WireError("epoch count overruns input");
   std::vector<std::uint64_t> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) out.push_back(r.u64());
@@ -89,7 +86,15 @@ void encodeBody(WireWriter& w, const Packet& packet) {
       w.u64(p.nonce);
       w.varint(p.size);
       w.u8(p.encapsulated ? 1 : 0);
-      if (p.encapsulated) encodeInto(w, *p.encapsulated);
+      if (p.encapsulated) {
+        // Length-delimited inner frame (v3): the decoder checks the nested
+        // packet against its own boundary, so inner truncation or trailing
+        // garbage can never be masked by (or bleed into) the outer frame.
+        WireWriter inner;
+        encodeInto(inner, *p.encapsulated);
+        w.varint(inner.size());
+        w.bytes(inner.data().data(), inner.size());
+      }
       return;
     }
     case Packet::Kind::Data: {
@@ -211,49 +216,28 @@ void encodeBody(WireWriter& w, const Packet& packet) {
   }
 }
 
-Tag tagFor(const Packet& packet) {
-  switch (packet.kind) {
-    case Packet::Kind::Interest: return Tag::Interest;
-    case Packet::Kind::Data:
-      return dynamic_cast<const ndngame::UpdateSegment*>(&packet) ? Tag::UpdateSegment
-                                                                  : Tag::Data;
-    case Packet::Kind::Subscribe: return Tag::Subscribe;
-    case Packet::Kind::Unsubscribe: return Tag::Unsubscribe;
-    case Packet::Kind::Multicast:
-      if (dynamic_cast<const gc::SnapshotObjectPacket*>(&packet)) return Tag::SnapshotObject;
-      if (dynamic_cast<const gc::GameUpdatePacket*>(&packet)) return Tag::GameUpdate;
-      if (dynamic_cast<const copss::AnnouncePacket*>(&packet)) return Tag::Announce;
-      return Tag::Multicast;
-    case Packet::Kind::FibAdd: return Tag::FibAdd;
-    case Packet::Kind::FibRemove: return Tag::FibRemove;
-    case Packet::Kind::RpHandoff: return Tag::RpHandoff;
-    case Packet::Kind::StJoin: return Tag::StJoin;
-    case Packet::Kind::StConfirm: return Tag::StConfirm;
-    case Packet::Kind::StLeave: return Tag::StLeave;
-    case Packet::Kind::RpReclaim: return Tag::RpReclaim;
-    case Packet::Kind::RpDemote: return Tag::RpDemote;
-    case Packet::Kind::IpUnicast: return Tag::IpUnicast;
-    default: throw WireError("unsupported packet kind for encoding");
-  }
-}
-
 void encodeInto(WireWriter& w, const Packet& packet) {
   w.u16(kMagic);
   w.u8(kVersion);
-  w.u8(static_cast<std::uint8_t>(tagFor(packet)));
+  w.u8(static_cast<std::uint8_t>(wireTag(packet)));
   encodeBody(w, packet);
 }
 
-PacketPtr decodeFrame(WireReader& r);  // fwd
+PacketPtr decodeFrame(WireReader& r, std::size_t depth);  // fwd
 
-PacketPtr decodeBody(Tag tag, WireReader& r) {
+PacketPtr decodeBody(Tag tag, WireReader& r, std::size_t depth) {
   switch (tag) {
     case Tag::Interest: {
       Name name = getName(r);
       const std::uint64_t nonce = r.u64();
       const Bytes size = r.varint();
       PacketPtr encap;
-      if (r.u8()) encap = decodeFrame(r);
+      if (r.u8()) {
+        const std::uint64_t innerLen = r.varint();
+        WireReader inner = r.subReader(innerLen);
+        encap = decodeFrame(inner, depth + 1);
+        if (!inner.atEnd()) throw WireError("trailing bytes in encapsulated packet");
+      }
       return makePacket<ndn::InterestPacket>(std::move(name), nonce, size,
                                              std::move(encap));
     }
@@ -269,8 +253,9 @@ PacketPtr decodeBody(Tag tag, WireReader& r) {
       const Bytes payload = r.varint();
       const SimTime created = r.i64();
       const std::uint64_t seq = r.u64();
-      const std::uint64_t count = r.varint();
-      if (count > 1 << 20) throw WireError("segment too large");
+      // Each entry is >= 18 bytes on the wire (u64 + i64 + name count + size).
+      const std::uint64_t count =
+          boundedCount(r, kMaxSegmentEntries, 18, "segment entry");
       std::vector<ndngame::UpdateEntry> updates;
       updates.reserve(count);
       for (std::uint64_t i = 0; i < count; ++i) {
@@ -376,6 +361,16 @@ PacketPtr decodeBody(Tag tag, WireReader& r) {
       return makePacket<copss::RpDemotePacket>(origin, std::move(prefixes),
                                                std::move(epochs));
     }
+    case Tag::IpUnicast: {
+      const NodeId src = getNode(r);
+      const NodeId dst = getNode(r);
+      Name cd = getName(r);
+      const Bytes payload = r.varint();
+      const SimTime published = r.i64();
+      const std::uint64_t seq = r.u64();
+      return makePacket<ipserver::IpUnicastPacket>(src, dst, std::move(cd), payload,
+                                                   published, seq);
+    }
     case Tag::Announce: {
       auto cds = getNames(r);
       if (cds.size() != 1) throw WireError("announce carries exactly one CD");
@@ -389,28 +384,49 @@ PacketPtr decodeBody(Tag tag, WireReader& r) {
       return makePacket<copss::AnnouncePacket>(std::move(cds.front()), std::move(content),
                                                fullSize, published, seq, publisher);
     }
-    case Tag::IpUnicast: {
-      const NodeId src = getNode(r);
-      const NodeId dst = getNode(r);
-      Name cd = getName(r);
-      const Bytes payload = r.varint();
-      const SimTime published = r.i64();
-      const std::uint64_t seq = r.u64();
-      return makePacket<ipserver::IpUnicastPacket>(src, dst, std::move(cd), payload,
-                                                   published, seq);
-    }
+    case Tag::kWireTagEnd:
+      break;
   }
   throw WireError("unknown packet tag");
 }
 
-PacketPtr decodeFrame(WireReader& r) {
+PacketPtr decodeFrame(WireReader& r, std::size_t depth) {
+  if (depth > kMaxDecodeDepth) throw WireError("encapsulation too deep");
   if (r.u16() != kMagic) throw WireError("bad magic");
   if (r.u8() != kVersion) throw WireError("unsupported version");
   const auto tag = static_cast<Tag>(r.u8());
-  return decodeBody(tag, r);
+  return decodeBody(tag, r, depth);
 }
 
 }  // namespace
+
+WireTag wireTag(const Packet& packet) {
+  switch (packet.kind) {
+    case Packet::Kind::Interest: return WireTag::Interest;
+    case Packet::Kind::Data:
+      return dynamic_cast<const ndngame::UpdateSegment*>(&packet) ? WireTag::UpdateSegment
+                                                                  : WireTag::Data;
+    case Packet::Kind::Subscribe: return WireTag::Subscribe;
+    case Packet::Kind::Unsubscribe: return WireTag::Unsubscribe;
+    case Packet::Kind::Multicast:
+      if (dynamic_cast<const gc::SnapshotObjectPacket*>(&packet)) {
+        return WireTag::SnapshotObject;
+      }
+      if (dynamic_cast<const gc::GameUpdatePacket*>(&packet)) return WireTag::GameUpdate;
+      if (dynamic_cast<const copss::AnnouncePacket*>(&packet)) return WireTag::Announce;
+      return WireTag::Multicast;
+    case Packet::Kind::FibAdd: return WireTag::FibAdd;
+    case Packet::Kind::FibRemove: return WireTag::FibRemove;
+    case Packet::Kind::RpHandoff: return WireTag::RpHandoff;
+    case Packet::Kind::StJoin: return WireTag::StJoin;
+    case Packet::Kind::StConfirm: return WireTag::StConfirm;
+    case Packet::Kind::StLeave: return WireTag::StLeave;
+    case Packet::Kind::RpReclaim: return WireTag::RpReclaim;
+    case Packet::Kind::RpDemote: return WireTag::RpDemote;
+    case Packet::Kind::IpUnicast: return WireTag::IpUnicast;
+    default: throw WireError("unsupported packet kind for encoding");
+  }
+}
 
 std::vector<std::uint8_t> encode(const Packet& packet) {
   WireWriter w;
@@ -419,10 +435,21 @@ std::vector<std::uint8_t> encode(const Packet& packet) {
 }
 
 PacketPtr decode(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxFrameBytes) throw WireError("frame too large");
   WireReader r(data, size);
-  PacketPtr p = decodeFrame(r);
+  PacketPtr p = decodeFrame(r, 1);
   if (!r.atEnd()) throw WireError("trailing bytes");
   return p;
+}
+
+DecodeResult tryDecode(const std::uint8_t* data, std::size_t size) {
+  DecodeResult result;
+  try {
+    result.packet = decode(data, size);
+  } catch (const WireError& e) {
+    result.error = e.what();
+  }
+  return result;
 }
 
 std::size_t encodedSize(const Packet& packet) { return encode(packet).size(); }

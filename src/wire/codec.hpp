@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <string>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -14,18 +16,90 @@ namespace gcopss::wire {
 //
 // Bodies serialize each field in declaration order; Names are component
 // lists (varint count, then length-prefixed components); nested packets
-// (COPSS Multicast encapsulated in an NDN Interest) recurse. Derived data —
-// e.g. a Multicast's prefix hashes — is recomputed on decode rather than
-// shipped, exactly as the paper's first-hop router would after
-// deserializing.
+// (COPSS Multicast encapsulated in an NDN Interest) recurse as a
+// length-delimited inner frame. Derived data — e.g. a Multicast's prefix
+// hashes — is recomputed on decode rather than shipped, exactly as the
+// paper's first-hop router would after deserializing.
 //
 // encode() never fails; decode() throws WireError on any malformed input
-// (bad magic, unknown type, truncation, trailing bytes).
+// (bad magic, unknown type, truncation, trailing bytes, or any of the
+// hardening bounds below); tryDecode() reports the same failures as a
+// result value instead of an exception.
 
 constexpr std::uint16_t kMagic = 0x47C0;  // "GC"
 // v2: FibAdd and RpHandoff bodies carry per-prefix ownership epochs, and the
 // RpReclaim/RpDemote reconciliation packets joined the tag space.
-constexpr std::uint8_t kVersion = 2;
+// v3: an encapsulated frame is length-delimited (varint byte count before the
+// inner frame), so a truncated or over-long inner packet is rejected against
+// its own boundary instead of leaning on the outer frame's trailing-bytes
+// check.
+constexpr std::uint8_t kVersion = 3;
+
+// Wire type tags (stable across versions; append-only). Public so tests and
+// the structure-aware fuzzer can enumerate the full tag space; kWireTagEnd is
+// a sentinel, never encoded.
+enum class WireTag : std::uint8_t {
+  Interest = 1,
+  Data = 2,
+  Subscribe = 3,
+  Unsubscribe = 4,
+  Multicast = 5,
+  GameUpdate = 6,
+  SnapshotObject = 7,
+  FibAdd = 8,
+  FibRemove = 9,
+  RpHandoff = 10,
+  StJoin = 11,
+  StConfirm = 12,
+  StLeave = 13,
+  IpUnicast = 14,
+  UpdateSegment = 15,
+  Announce = 16,
+  RpReclaim = 17,
+  RpDemote = 18,
+  kWireTagEnd,  // sentinel: one past the last real tag
+};
+
+constexpr std::size_t kWireTagCount = static_cast<std::size_t>(WireTag::kWireTagEnd) - 1;
+
+// Every encodable tag, in tag order. kWireTagCount pins the array to the
+// enum: adding a tag without extending this list (and, transitively, the
+// exhaustive round-trip table in test_wire.cpp and the fuzzer's packet
+// generator) fails to build.
+constexpr std::array<WireTag, kWireTagCount> kAllWireTags = {
+    WireTag::Interest,   WireTag::Data,       WireTag::Subscribe,
+    WireTag::Unsubscribe, WireTag::Multicast, WireTag::GameUpdate,
+    WireTag::SnapshotObject, WireTag::FibAdd, WireTag::FibRemove,
+    WireTag::RpHandoff,  WireTag::StJoin,     WireTag::StConfirm,
+    WireTag::StLeave,    WireTag::IpUnicast,  WireTag::UpdateSegment,
+    WireTag::Announce,   WireTag::RpReclaim,  WireTag::RpDemote,
+};
+
+// The tag a packet encodes under. Throws WireError for kinds with no wire
+// representation (simulator-internal control like PubAck/RpHeartbeat).
+WireTag wireTag(const Packet& packet);
+
+// ---- decode-hardening bounds ----
+// Every bound exists because hostile length prefixes otherwise turn a short
+// datagram into an unbounded allocation, an unbounded NameTable intern burst,
+// or unbounded recursion. Each has a throwing negative test in test_wire.cpp
+// and a committed corpus file under tests/corpus/ (see TESTING.md "Fuzzing").
+
+// Whole-frame ceiling. A gateway datagram is <= 64 KiB; 1 MiB leaves room for
+// batched future framing while bounding the per-decode work (every count
+// below is additionally checked against the bytes actually present).
+constexpr std::size_t kMaxFrameBytes = 1 << 20;
+// Nested-encapsulation recursion ceiling (outermost frame is depth 1). The
+// protocol nests exactly once (Multicast in Interest); 4 leaves headroom.
+constexpr std::size_t kMaxDecodeDepth = 4;
+// Components per Name.
+constexpr std::size_t kMaxNameComponents = 256;
+// Bytes per Name component.
+constexpr std::size_t kMaxComponentBytes = 4096;
+// Names per name list (Multicast CDs, FIB prefixes, ...).
+constexpr std::size_t kMaxNamesPerPacket = 65536;
+// UpdateEntry records per UpdateSegment.
+constexpr std::size_t kMaxSegmentEntries = 1 << 16;
 
 std::vector<std::uint8_t> encode(const Packet& packet);
 
@@ -37,6 +111,21 @@ PacketPtr decode(const std::uint8_t* data, std::size_t size);
 
 inline PacketPtr decode(const std::vector<std::uint8_t>& buf) {
   return decode(buf.data(), buf.size());
+}
+
+// Non-throwing decode for the gateway ingest path: malformed input yields a
+// null packet plus the reason instead of an exception. Only allocation
+// failure (std::bad_alloc) can still propagate.
+struct DecodeResult {
+  PacketPtr packet;   // null on failure
+  std::string error;  // empty on success
+  explicit operator bool() const { return packet != nullptr; }
+};
+
+DecodeResult tryDecode(const std::uint8_t* data, std::size_t size);
+
+inline DecodeResult tryDecode(const std::vector<std::uint8_t>& buf) {
+  return tryDecode(buf.data(), buf.size());
 }
 
 // Serialized size without materializing the buffer (for accounting).

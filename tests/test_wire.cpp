@@ -276,6 +276,335 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzRoundTrip, ::testing::Values(1, 2, 3, 4,
 namespace gcopss::test {
 namespace {
 
+using namespace gcopss::wire;
+
+// ---------------- exhaustive per-tag round-trips ----------------
+
+struct TagCase {
+  WireTag tag;
+  PacketPtr (*make)();
+};
+
+// One construction per wire tag. The static_assert below pins this table to
+// the codec's tag list: adding a WireTag without a round-trip case here is a
+// compile error, not a silent coverage gap.
+const TagCase kTagCases[] = {
+    {WireTag::Interest,
+     +[]() -> PacketPtr {
+       return makePacket<ndn::InterestPacket>(
+           Name::parse("/i/1"), 7, 40,
+           makePacket<copss::MulticastPacket>(std::vector<Name>{Name::parse("/m")},
+                                              10, ms(1), 2, 3));
+     }},
+    {WireTag::Data,
+     +[]() -> PacketPtr {
+       return makePacket<ndn::DataPacket>(Name::parse("/d"), 256, ms(2), 4);
+     }},
+    {WireTag::Subscribe,
+     +[]() -> PacketPtr {
+       return makePacket<copss::SubscribePacket>(Name::parse("/s"), Name::parse("/s/1"));
+     }},
+    {WireTag::Unsubscribe,
+     +[]() -> PacketPtr {
+       return makePacket<copss::UnsubscribePacket>(Name::parse("/s"));
+     }},
+    {WireTag::Multicast,
+     +[]() -> PacketPtr {
+       return makePacket<copss::MulticastPacket>(
+           std::vector<Name>{Name::parse("/a"), Name::parse("/b/c")}, 99, ms(3), 5, 6);
+     }},
+    {WireTag::GameUpdate,
+     +[]() -> PacketPtr {
+       return makePacket<gc::GameUpdatePacket>(Name::parse("/g/1"), 64, ms(4), 6, 7, 88);
+     }},
+    {WireTag::SnapshotObject,
+     +[]() -> PacketPtr {
+       return makePacket<gc::SnapshotObjectPacket>(Name::parse("/snap/1"), 128, ms(5),
+                                                   7, 8, 89, 12);
+     }},
+    {WireTag::FibAdd,
+     +[]() -> PacketPtr {
+       return makePacket<copss::FibAddPacket>(
+           std::vector<Name>{Name::parse("/f")}, std::vector<std::uint64_t>{3}, 9, 100);
+     }},
+    {WireTag::FibRemove,
+     +[]() -> PacketPtr {
+       return makePacket<copss::FibRemovePacket>(std::vector<Name>{Name::parse("/f")},
+                                                 9, 101);
+     }},
+    {WireTag::RpHandoff,
+     +[]() -> PacketPtr {
+       return makePacket<copss::RpHandoffPacket>(std::vector<Name>{Name::parse("/h")},
+                                                 std::vector<std::uint64_t>{5}, 1, 2,
+                                                 102);
+     }},
+    {WireTag::StJoin,
+     +[]() -> PacketPtr {
+       return makePacket<copss::StJoinPacket>(std::vector<Name>{Name::parse("/j")}, 103);
+     }},
+    {WireTag::StConfirm,
+     +[]() -> PacketPtr {
+       return makePacket<copss::StConfirmPacket>(std::vector<Name>{Name::parse("/c")},
+                                                 104);
+     }},
+    {WireTag::StLeave,
+     +[]() -> PacketPtr {
+       return makePacket<copss::StLeavePacket>(std::vector<Name>{Name::parse("/l")},
+                                               105);
+     }},
+    {WireTag::IpUnicast,
+     +[]() -> PacketPtr {
+       return makePacket<ipserver::IpUnicastPacket>(1, 2, Name::parse("/u"), 300,
+                                                    ms(6), 10);
+     }},
+    {WireTag::UpdateSegment,
+     +[]() -> PacketPtr {
+       std::vector<ndngame::UpdateEntry> entries{{1, ms(7), Name::parse("/e"), 50}};
+       return makePacket<ndngame::UpdateSegment>(Name::parse("/seg"), 200, ms(8), 11,
+                                                 std::move(entries));
+     }},
+    {WireTag::Announce,
+     +[]() -> PacketPtr {
+       return makePacket<copss::AnnouncePacket>(Name::parse("/a"),
+                                                Name::parse("/pub/1"), 4096, ms(9), 12,
+                                                3);
+     }},
+    {WireTag::RpReclaim,
+     +[]() -> PacketPtr {
+       return makePacket<copss::RpReclaimPacket>(4, std::vector<Name>{Name::parse("/r")},
+                                                 std::vector<std::uint64_t>{6});
+     }},
+    {WireTag::RpDemote,
+     +[]() -> PacketPtr {
+       return makePacket<copss::RpDemotePacket>(5, std::vector<Name>{Name::parse("/r")},
+                                                std::vector<std::uint64_t>{7});
+     }},
+};
+
+static_assert(std::size(kTagCases) == kAllWireTags.size(),
+              "wire tag without an exhaustive round-trip case: extend kTagCases");
+
+TEST(Wire, EveryTagRoundTripsExhaustively) {
+  for (std::size_t i = 0; i < std::size(kTagCases); ++i) {
+    const TagCase& c = kTagCases[i];
+    // The table covers each tag exactly once, in tag order.
+    EXPECT_EQ(c.tag, kAllWireTags[i]);
+    const PacketPtr p = c.make();
+    EXPECT_EQ(wireTag(*p), c.tag);
+    const auto bytes = encode(*p);
+    // Frame header carries the expected tag byte.
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_EQ(bytes[3], static_cast<std::uint8_t>(c.tag));
+    const PacketPtr back = decode(bytes);
+    EXPECT_EQ(wireTag(*back), c.tag);
+    // Bit-exact fixpoint, and encodedSize agrees with the real encoding.
+    EXPECT_EQ(encode(*back), bytes) << "tag " << static_cast<int>(c.tag);
+    EXPECT_EQ(encodedSize(*p), bytes.size());
+  }
+}
+
+// ---------------- decode-hardening bounds ----------------
+
+// A frame header followed by a hand-crafted (usually hostile) body.
+WireWriter frameFor(WireTag tag) {
+  WireWriter w;
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(tag));
+  return w;
+}
+
+void putWireName(WireWriter& w, const Name& n) {
+  w.varint(n.size());
+  for (const auto& c : n.components()) w.lengthPrefixed(c);
+}
+
+TEST(WireHardening, FrameSizeCapRejectsOversizedInput) {
+  // Content never matters: the cap fires before any parsing.
+  const std::vector<std::uint8_t> huge(kMaxFrameBytes + 1, 0);
+  EXPECT_THROW(decode(huge), WireError);
+  // At the cap itself the frame is parsed (and rejected for its content).
+  const std::vector<std::uint8_t> atCap(kMaxFrameBytes, 0);
+  EXPECT_THROW(decode(atCap), WireError);  // bad magic, not the size cap
+}
+
+TEST(WireHardening, NameComponentCountCap) {
+  auto w = frameFor(WireTag::Subscribe);
+  w.varint(kMaxNameComponents + 1);
+  for (std::size_t i = 0; i <= kMaxNameComponents; ++i) w.lengthPrefixed("a");
+  w.u8(0);
+  EXPECT_THROW(decode(w.take()), WireError);
+
+  // Exactly at the cap decodes (and round-trips).
+  std::vector<std::string> comps(kMaxNameComponents, "a");
+  const auto bytes =
+      encode(*makePacket<copss::SubscribePacket>(Name(std::move(comps))));
+  const auto back = packet_dynamic_cast<copss::SubscribePacket>(decode(bytes));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->cd.size(), kMaxNameComponents);
+}
+
+TEST(WireHardening, ComponentByteCap) {
+  // The hostile length prefix must be rejected BEFORE allocation: claim a
+  // gigantic component in a tiny frame.
+  auto w = frameFor(WireTag::Subscribe);
+  w.varint(1);
+  w.varint(std::uint64_t{1} << 40);  // 1 TiB component, no bytes behind it
+  w.u8(0);
+  EXPECT_THROW(decode(w.take()), WireError);
+
+  // A component of exactly kMaxComponentBytes is legal.
+  const auto bytes = encode(*makePacket<copss::SubscribePacket>(
+      Name({std::string(kMaxComponentBytes, 'x')})));
+  EXPECT_TRUE(packet_dynamic_cast<copss::SubscribePacket>(decode(bytes)));
+}
+
+TEST(WireHardening, NameCountCapAndInputLinearity) {
+  {  // over the absolute cap
+    auto w = frameFor(WireTag::StJoin);
+    w.varint(kMaxNamesPerPacket + 1);
+    EXPECT_THROW(decode(w.take()), WireError);
+  }
+  {  // under the cap, but claiming more names than there are bytes
+    auto w = frameFor(WireTag::StJoin);
+    w.varint(1024);
+    putWireName(w, Name::parse("/only/one"));
+    EXPECT_THROW(decode(w.take()), WireError);
+  }
+}
+
+TEST(WireHardening, SegmentEntryCountCap) {
+  auto w = frameFor(WireTag::UpdateSegment);
+  putWireName(w, Name::parse("/seg"));
+  w.varint(10);  // payload
+  w.i64(0);      // createdAt
+  w.u64(1);      // seq
+  w.varint(kMaxSegmentEntries + 1);
+  EXPECT_THROW(decode(w.take()), WireError);
+
+  // Hostile count below the cap but above what the bytes can hold.
+  auto v = frameFor(WireTag::UpdateSegment);
+  putWireName(v, Name::parse("/seg"));
+  v.varint(10);
+  v.i64(0);
+  v.u64(1);
+  v.varint(1000);
+  v.u64(1);  // one partial entry
+  EXPECT_THROW(decode(v.take()), WireError);
+}
+
+TEST(WireHardening, EpochCountCannotOverrunInput) {
+  auto w = frameFor(WireTag::RpReclaim);
+  w.u32(1);  // origin
+  w.varint(1);
+  putWireName(w, Name::parse("/p"));
+  w.varint(1);  // one epoch promised...
+  // ...but no 8 bytes behind it.
+  EXPECT_THROW(decode(w.take()), WireError);
+}
+
+TEST(WireHardening, EncapsulationDepthCap) {
+  // Depth kMaxDecodeDepth (leaf at the deepest slot) is fine.
+  PacketPtr ok = makePacket<ndn::DataPacket>(Name::parse("/leaf"), 1, 0, 0);
+  for (std::size_t i = 1; i < kMaxDecodeDepth; ++i) {
+    ok = makePacket<ndn::InterestPacket>(Name::parse("/i"), i, 40, std::move(ok));
+  }
+  EXPECT_TRUE(decode(encode(*ok)));
+
+  // One more level of nesting crosses the budget.
+  PacketPtr deep = makePacket<ndn::DataPacket>(Name::parse("/leaf"), 1, 0, 0);
+  for (std::size_t i = 0; i < kMaxDecodeDepth; ++i) {
+    deep = makePacket<ndn::InterestPacket>(Name::parse("/i"), i, 40, std::move(deep));
+  }
+  EXPECT_THROW(decode(encode(*deep)), WireError);
+}
+
+TEST(WireHardening, ZeroComponentNamesAreLegal) {
+  // The root name (zero components) is meaningful (root RP prefix) and must
+  // survive, not be conflated with malformed input.
+  const auto bytes = encode(*makePacket<copss::SubscribePacket>(Name()));
+  const auto back = packet_dynamic_cast<copss::SubscribePacket>(decode(bytes));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->cd, Name());
+}
+
+// ---------------- nested-frame boundary (satellite audit) ----------------
+
+// Build the outer Interest frame by hand around attacker-controlled inner
+// bytes (declared length `declared`, actual bytes `inner`).
+std::vector<std::uint8_t> interestAround(const std::vector<std::uint8_t>& inner,
+                                         std::uint64_t declared) {
+  auto w = frameFor(WireTag::Interest);
+  putWireName(w, Name::parse("/i"));
+  w.u64(7);      // nonce
+  w.varint(40);  // size
+  w.u8(1);       // encapsulated flag
+  w.varint(declared);
+  w.bytes(inner.data(), inner.size());
+  return w.take();
+}
+
+TEST(WireNestedFrames, InnerTruncationIsNeverMaskedByOuterFraming) {
+  const auto inner = encode(*makePacket<copss::MulticastPacket>(
+      std::vector<Name>{Name::parse("/m/1"), Name::parse("/m/2")}, 77, ms(1), 5, 6));
+  // Cut the inner Multicast at EVERY byte boundary; however the outer frame
+  // is sized, the truncated inner packet must be rejected.
+  for (std::size_t cut = 0; cut < inner.size(); ++cut) {
+    const std::vector<std::uint8_t> cutInner(inner.begin(),
+                                             inner.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode(interestAround(cutInner, cut)), WireError)
+        << "inner cut at " << cut;
+  }
+  // The un-cut inner decodes: the construction above is the real layout.
+  EXPECT_TRUE(decode(interestAround(inner, inner.size())));
+}
+
+TEST(WireNestedFrames, TrailingBytesInsideInnerFrameAreRejected) {
+  const auto inner = encode(*makePacket<copss::MulticastPacket>(
+      std::vector<Name>{Name::parse("/m")}, 10, ms(1), 1, 2));
+  // Declared inner length covers one smuggled byte beyond the inner packet:
+  // the inner reader must flag it, not hand it back to the outer frame.
+  auto smuggled = inner;
+  smuggled.push_back(0xee);
+  EXPECT_THROW(decode(interestAround(smuggled, smuggled.size())), WireError);
+}
+
+TEST(WireNestedFrames, InnerLengthCannotClaimOuterBytes) {
+  const auto inner = encode(*makePacket<copss::MulticastPacket>(
+      std::vector<Name>{Name::parse("/m")}, 10, ms(1), 1, 2));
+  // Declared length runs one past the bytes present in the outer frame.
+  EXPECT_THROW(decode(interestAround(inner, inner.size() + 1)), WireError);
+}
+
+// ---------------- tryDecode ----------------
+
+TEST(WireTryDecode, AgreesWithDecodeOnAcceptAndReject) {
+  const auto good = encode(*makePacket<ndn::DataPacket>(Name::parse("/d"), 9, ms(1), 2));
+  const auto ok = tryDecode(good);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(ok.error.empty());
+  EXPECT_EQ(encode(*ok.packet), good);
+
+  auto bad = good;
+  bad[0] ^= 0xff;
+  const auto rejected = tryDecode(bad);
+  EXPECT_FALSE(rejected);
+  EXPECT_EQ(rejected.packet, nullptr);
+  EXPECT_FALSE(rejected.error.empty());
+
+  // Same verdicts as the throwing API, input by input.
+  EXPECT_NO_THROW(decode(good));
+  EXPECT_THROW(decode(bad), WireError);
+}
+
+TEST(WireTryDecode, ReportsTheFailingConstraint) {
+  auto w = frameFor(WireTag::Subscribe);
+  w.varint(kMaxNameComponents + 1);
+  const auto r = tryDecode(w.take());
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error.find("count"), std::string::npos) << r.error;
+}
+
 TEST(Wire, AnnounceRoundTrips) {
   const auto out = packet_dynamic_cast<copss::AnnouncePacket>(
       wire::decode(wire::encode(*makePacket<copss::AnnouncePacket>(
