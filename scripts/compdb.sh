@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Locate the compilation database every analysis entry point shares
+# (scripts/tidy.sh, scripts/analyze.sh, tools/gcopss-tidy) and print its
+# path. Resolution order:
+#   1. $BUILD_DIR/compile_commands.json when BUILD_DIR is set
+#   2. the newest build*/compile_commands.json under the repo root
+# Exits 1 with a configure hint when none exists. Every preset exports
+# CMAKE_EXPORT_COMPILE_COMMANDS, so any configured build dir qualifies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ -n "${BUILD_DIR:-}" ]]; then
+  if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "$BUILD_DIR/compile_commands.json"
+    exit 0
+  fi
+  echo "compdb: $BUILD_DIR/compile_commands.json missing;" \
+       "run: cmake --preset default (or any preset writing to $BUILD_DIR)" >&2
+  exit 1
+fi
+
+newest=""
+for f in build*/compile_commands.json; do
+  [[ -f "$f" ]] || continue
+  if [[ -z "$newest" || "$f" -nt "$newest" ]]; then
+    newest="$f"
+  fi
+done
+
+if [[ -z "$newest" ]]; then
+  echo "compdb: no build*/compile_commands.json found;" \
+       "run: cmake --preset default" >&2
+  exit 1
+fi
+echo "$newest"

@@ -1,40 +1,51 @@
 #!/usr/bin/env bash
 # Run clang-tidy (profile: .clang-tidy) over every translation unit in src/.
-# Gated on availability: the dev container ships gcc only, so by default a
-# missing clang-tidy or compilation database degrades to a skip (exit 0) with
-# a notice. CI passes --strict, which turns both into hard failures so the
-# gate cannot silently rot. A local run needs a configured build with a
-# compilation database:
+#
+# clang-tidy is a REQUIRED dev dependency (see README.md "Toolchain"): a
+# missing binary is a hard failure with an install hint, so the gate cannot
+# silently rot on machines without it. Options:
+#   --bootstrap   also accept any versioned clang-tidy-N found on PATH
+#                 (newest wins) when plain `clang-tidy` is absent
+#   --strict      kept for CI compatibility; failure is the default now
+# Environment: CLANG_TIDY overrides the binary, BUILD_DIR pins the build
+# tree whose compile_commands.json to use (scripts/compdb.sh resolves it).
+#
 #   cmake --preset default   (exports compile_commands.json)
-#   scripts/tidy.sh [--strict] [extra clang-tidy args...]
+#   scripts/tidy.sh [--bootstrap] [extra clang-tidy args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STRICT=0
+BOOTSTRAP=0
 args=()
 for a in "$@"; do
   case "$a" in
-    --strict) STRICT=1 ;;
+    --strict) ;;  # failure on missing tooling is the default
+    --bootstrap) BOOTSTRAP=1 ;;
     *) args+=("$a") ;;
   esac
 done
 
-skip() {
-  echo "tidy: $1" >&2
-  if [[ "$STRICT" == 1 ]]; then
-    echo "tidy: --strict set; treating missing tooling as failure" >&2
-    exit 1
-  fi
-  echo "tidy: skipping (pass --strict to fail instead)" >&2
-  exit 0
-}
-
 TIDY="${CLANG_TIDY:-clang-tidy}"
-command -v "$TIDY" >/dev/null 2>&1 || skip "$TIDY not installed"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  if [[ "$BOOTSTRAP" == 1 ]]; then
+    # Take the highest-versioned clang-tidy-N on PATH.
+    found="$(compgen -c clang-tidy- 2>/dev/null | grep -E '^clang-tidy-[0-9]+$' |
+             sort -t- -k3 -n | tail -1 || true)"
+    if [[ -n "$found" ]]; then
+      TIDY="$found"
+      echo "tidy: bootstrap: using $TIDY" >&2
+    fi
+  fi
+fi
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "tidy: $TIDY not installed — clang-tidy is a required dev dependency." >&2
+  echo "tidy: install it (e.g. apt-get install clang-tidy) or pass" \
+       "--bootstrap to use a versioned clang-tidy-N from PATH." >&2
+  exit 1
+fi
 
-BUILD_DIR="${BUILD_DIR:-build}"
-[[ -f "$BUILD_DIR/compile_commands.json" ]] ||
-  skip "$BUILD_DIR/compile_commands.json missing; run: cmake --preset default"
+COMPDB="$(scripts/compdb.sh)"
+BUILD_DIR="$(dirname "$COMPDB")"
 
 mapfile -t sources < <(find src -name '*.cpp' | sort)
 echo "tidy: checking ${#sources[@]} files with $("$TIDY" --version | head -1)"

@@ -1,7 +1,6 @@
 #include "common/name_table.hpp"
 
 #include <cassert>
-#include <mutex>
 #include <stdexcept>
 
 namespace gcopss {
@@ -13,7 +12,7 @@ NameTable& NameTable::instance() {
 
 NameTable::NameTable() {
   // Entry 0: the root (empty) name. Hash matches Name().hash().
-  std::unique_lock lk(mu_);
+  ExclusiveLock lk(mu_);
   Entry* chunk = new Entry[kChunkSize];
   chunk[0] = Entry{kInvalidNameId, 0, 0xcbf29ce484222325ULL, ""};
   chunks_[0].store(chunk, std::memory_order_release);
@@ -26,7 +25,11 @@ NameTable::~NameTable() {
   }
 }
 
-NameId NameTable::appendLocked(NameId parent, std::string_view component) {
+// Interning growth path: runs once per never-before-seen name component
+// chain, amortized out of the steady state (forwarding looks up ids that
+// already exist). The cold marker doubles as the gcopss-tidy hot-alloc
+// barrier for the chunk allocation below.
+GCOPSS_COLD NameId NameTable::appendLocked(NameId parent, std::string_view component) {
   const NameId id = count_.load(std::memory_order_relaxed);
   // Always-on (not assert): packet decode interns attacker-controlled names,
   // so exhaustion must be a catchable error in release builds too.
@@ -54,13 +57,13 @@ NameId NameTable::appendLocked(NameId parent, std::string_view component) {
 NameId NameTable::child(NameId parent, std::string_view component) {
   assert(parent < size());
   {
-    std::shared_lock lk(mu_);
+    SharedLock lk(mu_);
     if (auto it = children_.find(ChildProbe{parent, component});
         it != children_.end()) {
       return it->second;
     }
   }
-  std::unique_lock lk(mu_);
+  ExclusiveLock lk(mu_);
   // Re-check under the exclusive lock: another thread may have interned the
   // same child between the two lock scopes.
   if (auto it = children_.find(ChildProbe{parent, component});
@@ -78,7 +81,7 @@ NameId NameTable::intern(const Name& name) {
 
 NameId NameTable::findChild(NameId parent, std::string_view component) const {
   if (parent == kInvalidNameId) return kInvalidNameId;
-  std::shared_lock lk(mu_);
+  SharedLock lk(mu_);
   const auto it = children_.find(ChildProbe{parent, component});
   return it == children_.end() ? kInvalidNameId : it->second;
 }
@@ -116,7 +119,7 @@ Name NameTable::name(NameId id) const {
 std::string NameTable::toString(NameId id) const { return name(id).toString(); }
 
 void NameTable::resetForTesting() {
-  std::unique_lock lk(mu_);
+  ExclusiveLock lk(mu_);
   children_.clear();
   // Re-publish count 1 first so no (misbehaving) concurrent reader can see a
   // freed chunk through a stale id; chunk 0 and its root entry stay live.

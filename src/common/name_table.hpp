@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 
 #include "common/hash.hpp"
 #include "common/name.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gcopss {
 
@@ -153,13 +153,19 @@ class NameTable {
     }
   };
 
-  // Requires mu_ held exclusively. Appends and publishes a new entry.
-  NameId appendLocked(NameId parent, std::string_view component);
+  // Appends and publishes a new entry (exclusive interning lock required —
+  // enforced by -Wthread-safety under Clang).
+  NameId appendLocked(NameId parent, std::string_view component)
+      GCOPSS_REQUIRES(mu_);
 
+  // Chunk slots and count_ are lock-free publication state, not guarded
+  // data: readers go through the release-store of count_ (see class
+  // comment). Only the children_ index needs the mutex.
   std::array<std::atomic<Entry*>, kMaxChunks> chunks_{};
   std::atomic<std::uint32_t> count_{0};
-  mutable std::shared_mutex mu_;  // guards children_ + appends
-  std::unordered_map<ChildKey, NameId, ChildHash, ChildEq> children_;
+  mutable SharedMutex mu_;  // guards children_ + appends
+  std::unordered_map<ChildKey, NameId, ChildHash, ChildEq> children_
+      GCOPSS_GUARDED_BY(mu_);
 };
 
 }  // namespace gcopss

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_annotations.hpp"
+
 namespace gcopss::copss {
 
 std::uint64_t nextMigrationTxnId() {
@@ -215,7 +217,7 @@ std::vector<NodeId>& CopssRouter::sentRecord(std::uint64_t seq) {
   return sentFaces_.at(seq);
 }
 
-void CopssRouter::stForward(NodeId excludeFace, const PacketPtr& multicast) {
+GCOPSS_HOT void CopssRouter::stForward(NodeId excludeFace, const PacketPtr& multicast) {
   const auto& mcast = packet_cast<MulticastPacket>(multicast);
   std::vector<NodeId> faces = std::move(matchScratch_);
   st_.matchFacesHashedInto(mcast.cds, mcast.prefixHashes, excludeFace, faces);

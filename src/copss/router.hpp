@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/seq_window.hpp"
+#include "common/thread_annotations.hpp"
 #include "copss/balancer.hpp"
 #include "copss/packets.hpp"
 #include "copss/st.hpp"
@@ -231,8 +232,10 @@ class CopssRouter : public Node {
 
   Options opts_;
   ndn::Forwarder fwd_;
-  ndn::Fib cdFib_;  // CD prefix -> face toward the serving RP (local = we are RP)
-  SubscriptionTable st_;
+  // Forwarding state is shard-confined: a router is touched only by the
+  // shard that owns its node (or sequentially), never by two workers at once.
+  GCOPSS_SHARD_CONFINED ndn::Fib cdFib_;  // CD prefix -> face toward serving RP (local = we are RP)
+  GCOPSS_SHARD_CONFINED SubscriptionTable st_;
   std::set<Name> rpPrefixes_;
   // Ownership epochs. Both survive a crash: the claim epochs are part of the
   // persisted RP config (like rpPrefixes_), and the observed high-water marks

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_annotations.hpp"
+
 namespace gcopss::copss {
 
 bool SubscriptionTable::subscribe(NodeId face, const Name& cd) {
@@ -102,7 +104,7 @@ std::vector<NodeId> SubscriptionTable::matchFacesHashed(
   return out;
 }
 
-void SubscriptionTable::matchFacesHashedInto(const std::vector<Name>& cds,
+GCOPSS_HOT void SubscriptionTable::matchFacesHashedInto(const std::vector<Name>& cds,
                                              const std::vector<std::uint64_t>& prefixHashes,
                                              NodeId excludeFace, std::vector<NodeId>& out) const {
   out.clear();

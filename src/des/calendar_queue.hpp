@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "des/inline_handler.hpp"
 
@@ -27,7 +28,7 @@ struct Event {
 // maximum number of simultaneously pending events).
 class EventPool {
  public:
-  Event* acquire() {
+  GCOPSS_HOT Event* acquire() {
     if (!free_) refill();
     Event* e = free_;
     free_ = e->nextFree;
@@ -35,7 +36,7 @@ class EventPool {
     return e;
   }
 
-  void release(Event* e) {
+  GCOPSS_HOT void release(Event* e) {
     e->fn.reset();
     e->nextFree = free_;
     free_ = e;
@@ -44,7 +45,10 @@ class EventPool {
  private:
   static constexpr std::size_t kSlabEvents = 256;
 
-  void refill() {
+  // GCOPSS_COLD: slab growth is the one allocation on the scheduling path;
+  // the pool high-water-marks, so steady state never re-enters it (verified
+  // dynamically by bench_core's operator-new interposer).
+  GCOPSS_COLD void refill() {
     slabs_.push_back(std::make_unique<Event[]>(kSlabEvents));
     Event* slab = slabs_.back().get();
     for (std::size_t i = kSlabEvents; i > 0; --i) {
@@ -75,7 +79,7 @@ class CalendarQueue {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  void push(Event* e) {
+  GCOPSS_HOT void push(Event* e) {
     cachedMin_ = kNone;
     // Keep the scan invariant "no pending event precedes the current day":
     // the min scan trusts it (first hit wins), but a push can land behind the
@@ -94,12 +98,12 @@ class CalendarQueue {
 
   // Earliest (when, seq) event, or nullptr. The located bucket is cached and
   // reused by the next popMin() unless a push intervenes.
-  Event* peekMin() {
+  GCOPSS_HOT Event* peekMin() {
     if (size_ == 0) return nullptr;
     return buckets_[locateMinBucket()].front();
   }
 
-  Event* popMin() {
+  GCOPSS_HOT Event* popMin() {
     if (size_ == 0) return nullptr;
     auto& b = buckets_[locateMinBucket()];
     std::pop_heap(b.begin(), b.end(), later);

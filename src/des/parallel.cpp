@@ -25,7 +25,7 @@ ParallelSimulator::ParallelSimulator(Simulator& globalLane, Options opts)
 
 ParallelSimulator::~ParallelSimulator() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     exit_ = true;
   }
   cv_.notify_all();
@@ -36,8 +36,11 @@ void ParallelSimulator::workerLoop(std::size_t self) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return exit_ || round_ != seen; });
+      // Plain while-wait (no predicate lambda): the guarded reads of exit_
+      // and round_ stay in a scope where -Wthread-safety can see CvLock's
+      // capability; a lambda body is analyzed as a capability-free function.
+      CvLock lk(mu_);
+      while (!exit_ && round_ == seen) cv_.wait(lk);
       if (exit_) return;
       seen = round_;
     }
@@ -69,14 +72,14 @@ void ParallelSimulator::runRound(std::size_t self) {
   try {
     shards_[self]->runUntilBefore(window_);
   } catch (...) {
-    std::lock_guard<std::mutex> lk(errorMu_);
+    MutexLock lk(errorMu_);
     if (!firstError_) firstError_ = std::current_exception();
   }
   barrierArrive();  // every shard done executing; outbound buffers final
   try {
     mergeInbound(self);
   } catch (...) {
-    std::lock_guard<std::mutex> lk(errorMu_);
+    MutexLock lk(errorMu_);
     if (!firstError_) firstError_ = std::current_exception();
   }
   barrierArrive();  // every merge done; shard queues quiescent again
@@ -113,7 +116,7 @@ std::uint64_t ParallelSimulator::run(SimTime until) {
   const std::uint64_t before = totalEventsExecuted();
   for (;;) {
     {
-      std::lock_guard<std::mutex> lk(errorMu_);
+      MutexLock lk(errorMu_);
       if (firstError_) std::rethrow_exception(firstError_);
     }
     const SimTime g = global_.nextEventWhen();
@@ -141,7 +144,7 @@ std::uint64_t ParallelSimulator::run(SimTime until) {
                                                 : sMin + lookahead_;
     w = std::min(std::min(w, g), cap);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       window_ = w;
       ++round_;
     }
@@ -150,7 +153,7 @@ std::uint64_t ParallelSimulator::run(SimTime until) {
     ++rounds_;
   }
   {
-    std::lock_guard<std::mutex> lk(errorMu_);
+    MutexLock lk(errorMu_);
     if (firstError_) std::rethrow_exception(firstError_);
   }
   return totalEventsExecuted() - before;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "des/inline_handler.hpp"
 #include "des/simulator.hpp"
@@ -131,9 +132,9 @@ class ParallelSimulator {
   // Flattened [src][dst] buffers. A buffer is written only by worker `src`
   // during the execution phase and read only by worker `dst` during the
   // merge phase; the two barriers between the phases order every access.
-  std::vector<std::vector<Remote>> outbound_;
+  GCOPSS_SHARD_CONFINED std::vector<std::vector<Remote>> outbound_;
   // Per-destination merge scratch; only worker `dst` touches slot `dst`.
-  std::vector<std::vector<Remote>> mergeByDst_;
+  GCOPSS_SHARD_CONFINED std::vector<std::vector<Remote>> mergeByDst_;
 
   // ---- round coordination (main thread acts as worker 0) ----
   // Workers park on `cv_` between rounds; `round_` is bumped (under `mu_`)
@@ -141,16 +142,21 @@ class ParallelSimulator {
   // phase barriers are sense-reversing and yield-friendly: this engine must
   // behave on oversubscribed hosts (CI runners, 1-core containers), so
   // waiters spin only briefly before yielding.
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::uint64_t round_ = 0;
-  bool exit_ = false;
+  std::uint64_t round_ GCOPSS_GUARDED_BY(mu_) = 0;
+  bool exit_ GCOPSS_GUARDED_BY(mu_) = false;
+  // Written under mu_ when a round is published, read lock-free by workers
+  // inside the round: the cv wakeup that starts the round is the
+  // synchronizing edge, and no write happens while any worker is running.
+  // (Deliberately not GUARDED_BY: the in-round reads are ordered by the
+  // round protocol, not the mutex.)
   SimTime window_ = 0;
   std::atomic<std::uint32_t> barrierArrived_{0};
   std::atomic<std::uint32_t> barrierGen_{0};
   std::vector<std::thread> threads_;  // workers 1..k-1
-  std::exception_ptr firstError_;
-  std::mutex errorMu_;
+  std::exception_ptr firstError_ GCOPSS_GUARDED_BY(errorMu_);
+  Mutex errorMu_;
   std::uint64_t rounds_ = 0;
   std::uint64_t globalPhases_ = 0;
 

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "common/thread_annotations.hpp"
+
 namespace gcopss::ndn {
 
-void Fib::insert(const Name& prefix, NodeId face) {
+// Control-plane mutation (RP assignment, Subscribe propagation targets):
+// never on the per-packet forwarding path, so trie-node growth is fine here.
+// The cold marker is also the gcopss-tidy hot-alloc barrier.
+GCOPSS_COLD void Fib::insert(const Name& prefix, NodeId face) {
   auto& names = NameTable::instance();
   TrieNode* node = &root_;
   NameId id = kRootNameId;
@@ -74,7 +79,7 @@ std::vector<NodeId> Fib::lpm(NameId id) const {
   return {faces->begin(), faces->end()};
 }
 
-const std::set<NodeId>* Fib::lpmFaces(NameId id) const {
+GCOPSS_HOT const std::set<NodeId>* Fib::lpmFaces(NameId id) const {
   const auto& names = NameTable::instance();
   for (NameId cur = id;; cur = names.parent(cur)) {
     const auto it = byId_.find(cur);
@@ -87,6 +92,19 @@ std::vector<NodeId> Fib::exact(const Name& prefix) const {
   const TrieNode* node = find(prefix);
   if (!node) return {};
   return {node->faces.begin(), node->faces.end()};
+}
+
+std::vector<std::pair<const std::string*, const Fib::TrieNode*>>
+Fib::sortedChildren(const TrieNode& node) {
+  std::vector<std::pair<const std::string*, const TrieNode*>> out;
+  out.reserve(node.children.size());
+  // gcopss-tidy: allow(unordered-iter) the one audited escape; order is normalized by the sort below
+  for (const auto& [comp, child] : node.children) {
+    out.emplace_back(&comp, child.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  return out;
 }
 
 std::vector<std::pair<Name, std::vector<NodeId>>> Fib::intersecting(const Name& name) const {
@@ -103,16 +121,22 @@ std::vector<std::pair<Name, std::vector<NodeId>>> Fib::intersecting(const Name& 
     if (it == node->children.end()) return out;
     node = it->second.get();
   }
-  // Descendants: everything strictly below `name`.
-  // Depth-first over the subtree rooted at `node`.
+  // Descendants: everything strictly below `name`, in sorted preorder.
+  // Children are pushed reverse-sorted so the stack pops them ascending —
+  // the output order is a pure function of the trie's contents, never of
+  // unordered-map layout (it reaches Subscribe propagation order upstream).
   struct Frame {
     const TrieNode* n;
     Name path;
   };
   std::vector<Frame> stack;
-  for (const auto& [comp, child] : node->children) {
-    stack.push_back(Frame{child.get(), name.append(comp)});
-  }
+  auto pushKids = [&stack](const TrieNode& n, const Name& path) {
+    const auto kids = sortedChildren(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Frame{it->second, path.append(*it->first)});
+    }
+  };
+  pushKids(*node, name);
   while (!stack.empty()) {
     Frame f = std::move(stack.back());
     stack.pop_back();
@@ -120,9 +144,7 @@ std::vector<std::pair<Name, std::vector<NodeId>>> Fib::intersecting(const Name& 
       out.emplace_back(f.path,
                        std::vector<NodeId>(f.n->faces.begin(), f.n->faces.end()));
     }
-    for (const auto& [comp, child] : f.n->children) {
-      stack.push_back(Frame{child.get(), f.path.append(comp)});
-    }
+    pushKids(*f.n, f.path);
   }
   return out;
 }
@@ -141,11 +163,13 @@ std::vector<std::pair<Name, std::vector<NodeId>>> Fib::entries() const {
       out.emplace_back(f.path,
                        std::vector<NodeId>(f.n->faces.begin(), f.n->faces.end()));
     }
-    for (const auto& [comp, child] : f.n->children) {
-      stack.push_back(Frame{child.get(), f.path.append(comp)});
+    const auto kids = sortedChildren(*f.n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Frame{it->second, f.path.append(*it->first)});
     }
   }
-  // The trie's children are unordered; sort so audit output is stable.
+  // Belt and braces: sorted preorder already emits prefixes in Name order,
+  // but the audit contract is "sorted by prefix", so say it in code.
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;

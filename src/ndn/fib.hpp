@@ -65,6 +65,14 @@ class Fib {
   std::unordered_map<NameId, const TrieNode*> byId_;
 
   const TrieNode* find(const Name& prefix) const;
+
+  // Deterministic traversal order over a node's unordered child map: the
+  // one audited place where `children` is iterated, normalized by sorting
+  // on the component. Everything that enumerates the trie (intersecting(),
+  // entries()) walks this snapshot so its output order never depends on
+  // hash-map layout.
+  static std::vector<std::pair<const std::string*, const TrieNode*>>
+  sortedChildren(const TrieNode& node);
 };
 
 }  // namespace gcopss::ndn

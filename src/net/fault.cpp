@@ -71,6 +71,7 @@ void FaultInjector::prepareLanes(
 const FaultStats& FaultInjector::stats() const {
   if (lanes_.empty()) return stats_;
   agg_ = stats_;  // sequential counters: crashes, restarts
+  // gcopss-tidy: allow(unordered-iter) commutative u64 sums; aggregation order cannot reach any output
   for (const auto& [key, lane] : lanes_) {
     (void)key;
     agg_.randomLoss += lane.stats.randomLoss;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "net/packet.hpp"
@@ -187,7 +188,7 @@ class FaultInjector {
   FaultStats stats_;  // global-stream draws + crashes/restarts
   // Never mutated after prepareLanes (concurrent find() is read-only);
   // mapped Lanes are mutated only by the sending node's owner shard.
-  std::unordered_map<std::uint64_t, Lane> lanes_;
+  GCOPSS_SHARD_CONFINED std::unordered_map<std::uint64_t, Lane> lanes_;
   mutable FaultStats agg_;  // scratch for the aggregated stats() view
 };
 

@@ -205,6 +205,7 @@ RefPtr<const T> packet_dynamic_cast(const RefPtr<U>& p) {
 // Immutable packet, the normal case.
 template <typename T, typename... Args>
 RefPtr<const T> makePacket(Args&&... args) {
+  // gcopss-tidy: allow(hot-alloc) the audited packet-creation boundary: sources/decoders allocate once per packet; forwarding fan-out shares it by RefPtr
   return RefPtr<const T>(new T(std::forward<Args>(args)...));
 }
 
@@ -212,12 +213,14 @@ RefPtr<const T> makePacket(Args&&... args) {
 // convert to PacketPtr on send.
 template <typename T, typename... Args>
 RefPtr<T> makeMutablePacket(Args&&... args) {
+  // gcopss-tidy: allow(hot-alloc) the audited packet-creation boundary: one allocation per packet built, never per forwarded copy
   return RefPtr<T>(new T(std::forward<Args>(args)...));
 }
 
 // Explicit copy of a (derived) packet with a fresh refcount.
 template <typename T>
 RefPtr<const T> clonePacket(const T& src) {
+  // gcopss-tidy: allow(hot-alloc) allocation is the point: the sanctioned copy-on-write boundary; hot paths forward by RefPtr and clone only to mutate
   return RefPtr<const T>(new T(src));
 }
 

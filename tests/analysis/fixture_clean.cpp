@@ -1,0 +1,63 @@
+// gcopss-tidy self-test fixture: a clean file. Every rule runs over it in
+// self-test mode and must produce zero findings — this pins the false-
+// positive rate of the idioms the real tree actually uses.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture_clean {
+
+// Sim-derived time, not wall-clock.
+struct SimClock {
+  std::uint64_t nowNs = 0;
+  std::uint64_t now() const { return nowNs; }
+};
+
+// Seeded, replayable RNG in the style of common/rng.hpp.
+struct SplitMix {
+  std::uint64_t state;
+  explicit SplitMix(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 27);
+  }
+};
+
+struct OrderedTable {
+  std::map<std::string, int> entries;
+
+  // Ordered iteration: deterministic by construction.
+  std::vector<int> snapshot() const {
+    std::vector<int> out;
+    out.reserve(entries.size());
+    for (const auto& [key, value] : entries) {
+      out.push_back(value + static_cast<int>(key.size()));
+    }
+    return out;
+  }
+};
+
+// A hot function that only touches preallocated state.
+struct Ring {
+  std::vector<int> slots = std::vector<int>(64, 0);
+  std::size_t head = 0;
+
+  GCOPSS_HOT void push(int v) {
+    slots[head % slots.size()] = v;
+    ++head;
+  }
+};
+
+std::uint64_t drive(SimClock& clk, SplitMix& rng, Ring& ring,
+                    const OrderedTable& table) {
+  for (int v : table.snapshot()) {
+    ring.push(v);
+  }
+  clk.nowNs += rng.next() % 1000;
+  return clk.now();
+}
+
+}  // namespace fixture_clean

@@ -1,0 +1,60 @@
+// gcopss-tidy self-test fixture: hot-alloc positives (direct and transitive
+// allocation under GCOPSS_HOT) and the GCOPSS_COLD barrier negative. Lexed
+// by the checker, never compiled — the annotation macros appear as plain
+// tokens, which is exactly what the checker matches.
+#include <memory>
+
+namespace fixture {
+
+struct Ev {
+  int x = 0;
+};
+
+struct Pool {
+  Ev* freeList = nullptr;
+  int live = 0;
+};
+
+// Deliberate growth path: the cold barrier stops the hot-path walk, so the
+// allocation below is NOT a finding even though acquireHot() calls it.
+GCOPSS_COLD Ev* refillSlab(Pool& p) {
+  p.live += 64;
+  return new Ev[64];
+}
+
+Ev* slowPath(Pool& p) {
+  p.live += 1;
+  return new Ev();  // gcopss-tidy:expect(hot-alloc)
+}
+
+GCOPSS_HOT Ev* acquireHot(Pool& p) {
+  if (p.freeList != nullptr) {
+    Ev* e = p.freeList;
+    p.freeList = nullptr;
+    return e;
+  }
+  if (p.live > 128) return slowPath(p);
+  return refillSlab(p);
+}
+
+GCOPSS_HOT void fanOut(Pool& p) {
+  auto sp = std::make_shared<Ev>();  // gcopss-tidy:expect(hot-alloc)
+  p.live += sp->x;
+}
+
+// Negative: allocation in a plain (neither hot nor reachable-from-hot)
+// function is nobody's business.
+Ev* coldSetup() {
+  return new Ev[8];
+}
+
+// Negative: a justified allow() accepts a measured, amortized growth path.
+GCOPSS_HOT void pushBurst(Pool& p) {
+  if (p.live == 0) {
+    // gcopss-tidy: allow(hot-alloc) amortized doubling, measured allocation-free in steady state
+    p.freeList = new Ev[2];
+  }
+  p.live += 2;
+}
+
+}  // namespace fixture

@@ -1,0 +1,65 @@
+// gcopss-tidy self-test fixture: packet-copy positives (deep copies outside
+// the clone helpers, by-value packet parameters) and negatives (the clone
+// helpers themselves, pointer/reference passing). Lexed by the checker,
+// never compiled. The Packet hierarchy here is local to the fixture; the
+// checker seeds its inheritance closure from the name "Packet".
+#include <memory>
+
+namespace fixture {
+
+struct Packet {
+  virtual ~Packet() = default;
+  int hopLimit = 16;
+};
+
+struct MulticastPacket : Packet {
+  int group = 0;
+};
+
+struct SubscribePacket final : public MulticastPacket {
+  bool add = true;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+// Negative: the sanctioned clone helper may copy freely.
+Packet* clonePacket(const Packet& src) {
+  return new Packet(src);
+}
+
+// Negative: makeMutablePacket is the other sanctioned copy point.
+MulticastPacket* makeMutablePacket(const MulticastPacket* src) {
+  return new MulticastPacket(*src);
+}
+
+Packet* handRolledClone(const Packet* src) {
+  return new Packet(*src);  // gcopss-tidy:expect(packet-copy)
+}
+
+void copyConstructed(const MulticastPacket* src) {
+  MulticastPacket local = *src;  // gcopss-tidy:expect(packet-copy)
+  (void)local;
+}
+
+void braceCopied(const SubscribePacket* src) {
+  SubscribePacket local{*src};  // gcopss-tidy:expect(packet-copy)
+  (void)local;
+}
+
+int byValueParam(MulticastPacket pkt) {  // gcopss-tidy:expect(packet-copy)
+  return pkt.group;
+}
+
+// Negatives: by-reference / by-pointer / shared-ptr passing never copies.
+int byRef(const MulticastPacket& pkt) { return pkt.group; }
+int byPtr(const MulticastPacket* pkt) { return pkt->group; }
+int bySharedPtr(const PacketPtr& pkt) { return pkt->hopLimit; }
+
+// Negative: default construction of a fresh packet is not a copy.
+SubscribePacket freshSubscribe() {
+  SubscribePacket out;
+  out.add = false;
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,73 @@
+// gcopss-tidy self-test fixture: unordered-iter positives and ordered
+// negatives. Lexed by the checker, never compiled.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using FaceSet = std::unordered_set<int>;
+
+struct RoutingState {
+  std::unordered_map<std::string, int> nextHop_;
+  std::map<std::string, int> orderedHop_;
+  FaceSet faces_;
+  std::vector<int> log_;
+
+  std::unordered_map<int, int> snapshotCounts();
+
+  void emitAll() {
+    for (const auto& [name, hop] : nextHop_) {  // gcopss-tidy:expect(unordered-iter)
+      log_.push_back(hop + static_cast<int>(name.size()));
+    }
+  }
+
+  void emitFaces() {
+    for (int f : faces_) {  // gcopss-tidy:expect(unordered-iter)
+      log_.push_back(f);
+    }
+  }
+
+  void emitFromCall() {
+    for (const auto& [k, v] : snapshotCounts()) {  // gcopss-tidy:expect(unordered-iter)
+      log_.push_back(k + v);
+    }
+  }
+
+  void walkIterators() {
+    for (auto it = nextHop_.begin(); it != nextHop_.end(); ++it) {  // gcopss-tidy:expect(unordered-iter)
+      log_.push_back(it->second);
+    }
+  }
+
+  // Negatives: ordered containers iterate deterministically.
+  void emitOrdered() {
+    for (const auto& [name, hop] : orderedHop_) {
+      log_.push_back(hop + static_cast<int>(name.size()));
+    }
+    for (int v : log_) {
+      (void)v;
+    }
+  }
+
+  // Negative: point lookups into unordered containers are fine — only
+  // iteration order is the hazard.
+  int lookup(const std::string& name) const {
+    auto it = nextHop_.find(name);
+    return it == nextHop_.end() ? -1 : it->second;
+  }
+
+  // A justified allow() covers commutative folds where order cannot leak.
+  int total() const {
+    int sum = 0;
+    // gcopss-tidy: allow(unordered-iter) commutative sum; order cannot reach any output
+    for (const auto& [name, hop] : nextHop_) {
+      sum += hop + static_cast<int>(name.size());
+    }
+    return sum;
+  }
+};
+
+}  // namespace fixture

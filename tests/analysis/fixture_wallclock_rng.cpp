@@ -1,0 +1,64 @@
+// gcopss-tidy self-test fixture: wallclock-rng positives and the
+// suppression machinery. These files are lexed by the checker, never
+// compiled — see tests/analysis/README.md.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long nowNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // gcopss-tidy:expect(wallclock-rng)
+}
+
+long today() {
+  auto tp = std::chrono::system_clock::now();  // gcopss-tidy:expect(wallclock-rng)
+  return tp.time_since_epoch().count();
+}
+
+int roll() {
+  return rand() % 6;  // gcopss-tidy:expect(wallclock-rng)
+}
+
+unsigned hwSeed() {
+  std::random_device rd;  // gcopss-tidy:expect(wallclock-rng)
+  return rd();
+}
+
+long libcTime() {
+  return static_cast<long>(time(nullptr));  // gcopss-tidy:expect(wallclock-rng)
+}
+
+// Global-scope qualification is still the banned libc entity — `::` does
+// not read as a project-namespace qualifier.
+int globalScopeRoll() {
+  return ::rand() % 6;  // gcopss-tidy:expect(wallclock-rng)
+}
+
+// A justified allow() suppresses the finding on the next line.
+long suppressedTime() {
+  // gcopss-tidy: allow(wallclock-rng) fixture proves justified suppressions are honored
+  return static_cast<long>(time(nullptr));
+}
+
+// An allow() with no justification is itself a finding, and does NOT
+// suppress anything — the line below still fires.
+// gcopss-tidy:expect(bad-suppression)
+// gcopss-tidy: allow(wallclock-rng)
+int unjustified() {
+  return rand();  // gcopss-tidy:expect(wallclock-rng)
+}
+
+// Negatives: member functions and project-qualified names that merely share
+// a banned spelling are fine.
+struct Sim {
+  long time() const { return 7; }
+  long rand_ = 0;
+};
+
+long simTime(const Sim& sim) {
+  return sim.time() + Sim{}.time();
+}
+
+}  // namespace fixture

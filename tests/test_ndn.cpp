@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ndn/content_store.hpp"
 #include "ndn/fib.hpp"
 #include "ndn/forwarder.hpp"
@@ -62,6 +64,41 @@ TEST(Fib, IntersectingFindsAncestorsAndDescendants) {
     prefixes.insert(p.toString());
   }
   EXPECT_EQ(prefixes, (std::set<std::string>{"/", "/1/1", "/1/2"}));
+}
+
+TEST(Fib, IntersectingOrderIsDeterministic) {
+  // The trie stores children in an unordered map, but intersecting() feeds
+  // Subscribe propagation, so its output order must be a pure function of
+  // the FIB's contents: ancestors root-down, then descendants in sorted
+  // preorder — regardless of insertion order or hash-map layout.
+  const std::vector<std::string> prefixes = {"/1/9", "/1/2", "/1/5/a",
+                                             "/1/5", "/1/11", "/"};
+  std::vector<std::string> insertionOrder = prefixes;
+  std::vector<std::string> expected;
+  {
+    Fib fib;
+    NodeId face = 1;
+    for (const auto& p : insertionOrder) fib.insert(Name::parse(p), face++);
+    for (const auto& [name, faces] : fib.intersecting(Name::parse("/1"))) {
+      (void)faces;
+      expected.push_back(name.toString());
+    }
+  }
+  EXPECT_EQ(expected, (std::vector<std::string>{"/", "/1/11", "/1/2", "/1/5",
+                                                "/1/5/a", "/1/9"}));
+  // Every insertion order yields the identical sequence.
+  std::sort(insertionOrder.begin(), insertionOrder.end());
+  do {
+    Fib fib;
+    NodeId face = 1;
+    for (const auto& p : insertionOrder) fib.insert(Name::parse(p), face++);
+    std::vector<std::string> got;
+    for (const auto& [name, faces] : fib.intersecting(Name::parse("/1"))) {
+      (void)faces;
+      got.push_back(name.toString());
+    }
+    EXPECT_EQ(got, expected) << "insertion order changed intersecting() order";
+  } while (std::next_permutation(insertionOrder.begin(), insertionOrder.end()));
 }
 
 // ---------------- PIT ----------------

@@ -1,0 +1,66 @@
+#pragma once
+
+// The four project rule families (docs/STATIC_ANALYSIS.md has the catalog):
+//
+//   wallclock-rng   wall-clock time / unseeded randomness outside the
+//                   allowlist — sim code derives all time from Simulator and
+//                   all draws from seeded Rng/FaultPlan lanes.
+//   unordered-iter  iteration over unordered containers in subsystems whose
+//                   iteration order can reach packet emission or audit
+//                   order (src/copss, src/net, src/des, src/check, src/ndn).
+//   hot-alloc       project-code allocation (`new`, make_shared/make_unique,
+//                   malloc) transitively reachable from a GCOPSS_HOT
+//                   function, unless behind a GCOPSS_COLD growth path.
+//   packet-copy     Packet deep copies outside clonePacket/makeMutablePacket
+//                   (copy-construction from a dereference, by-value Packet
+//                   parameters).
+//
+// Suppression: `// gcopss-tidy: allow(<rule>[, <rule>]) <justification>` on
+// the offending line or alone on the line above. An allow() with no
+// justification text is itself a finding (rule `bad-suppression`).
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace gtidy {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+  bool operator==(const Finding& o) const {
+    return rule == o.rule && path == o.path && line == o.line &&
+           message == o.message;
+  }
+};
+
+struct CheckOptions {
+  // Self-test mode: every rule applies to every file, allowlists are off.
+  bool selfTest = false;
+  // Path fragments exempt from wallclock-rng (wall-clock is what a bench
+  // measures; the gateway will legitimately bridge sim and wall time).
+  std::vector<std::string> wallclockAllow = {"bench/", "tools/", "fuzz/",
+                                             "src/gateway/"};
+  // Subsystems where unordered iteration order can leak into packet or
+  // audit order.
+  std::vector<std::string> unorderedRoots = {"src/copss/", "src/net/",
+                                             "src/des/", "src/check/",
+                                             "src/ndn/"};
+};
+
+// Run every rule over the lexed files; returns findings sorted, deduplicated
+// and with suppressions already applied.
+std::vector<Finding> runChecks(const std::vector<SourceFile>& files,
+                               const CheckOptions& opts);
+
+}  // namespace gtidy

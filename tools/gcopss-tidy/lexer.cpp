@@ -1,0 +1,230 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace gtidy {
+
+namespace {
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool identCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.clear();
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+SourceFile lexFile(std::string path, const std::string& src) {
+  SourceFile f;
+  f.path = std::move(path);
+
+  // Split raw lines up front (fingerprints, annotations).
+  {
+    std::string cur;
+    for (char c : src) {
+      if (c == '\n') {
+        f.lines.push_back(cur);
+        cur.clear();
+      } else if (c != '\r') {
+        cur.push_back(c);
+      }
+    }
+    f.lines.push_back(cur);
+  }
+
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  // Per line: did we emit any token / see any non-comment content?
+  int lastCodeLine = 0;
+
+  auto addComment = [&](int atLine, const std::string& text) {
+    auto& slot = f.comments[atLine];
+    if (!slot.empty()) slot.push_back(' ');
+    slot += text;
+    if (lastCodeLine != atLine) f.commentOnly[atLine] = true;
+  };
+
+  auto emit = [&](Tok kind, std::string text) {
+    lastCodeLine = line;
+    f.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      addComment(line, src.substr(i + 2, j - i - 2));
+      i = j;
+      continue;
+    }
+    // Block comment; attributed to its starting line.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      addComment(start, src.substr(i + 2, j - i - 2));
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Preprocessor directive: only meaningful at start of (logical) line.
+    // We accept any '#' token position — the tree never uses #, ## operators
+    // outside directives (and gcopss-tidy does not macro-expand anyway).
+    if (c == '#') {
+      std::size_t j = i + 1;
+      // Parse the directive word.
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::size_t w = j;
+      while (w < n && identCont(src[w])) ++w;
+      const std::string directive = src.substr(j, w - j);
+      // Record `#include "..."` targets.
+      if (directive == "include") {
+        std::size_t q = w;
+        while (q < n && src[q] != '"' && src[q] != '<' && src[q] != '\n') ++q;
+        if (q < n && src[q] == '"') {
+          std::size_t e = q + 1;
+          while (e < n && src[e] != '"' && src[e] != '\n') ++e;
+          if (e < n && src[e] == '"') {
+            f.includes.push_back(src.substr(q + 1, e - q - 1));
+          }
+        }
+      }
+      // Skip to end of line, honoring backslash continuations.
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() < 16) {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      const int start = line;
+      if (j < n && src[j] == '(') {
+        const std::string close = ")" + delim + "\"";
+        std::size_t e = src.find(close, j + 1);
+        if (e == std::string::npos) e = n;
+        for (std::size_t k = j; k < e && k < n; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        i = (e == n) ? n : e + close.size();
+        lastCodeLine = start;
+        f.tokens.push_back(Token{Tok::String, "<raw>", start});
+        continue;
+      }
+      // Not actually a raw string ('R' identifier then string); fall through
+      // by emitting the identifier.
+      emit(Tok::Identifier, "R");
+      ++i;
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          ++j;
+        } else if (src[j] == '\n') {
+          break;  // unterminated on this line; bail out
+        }
+        ++j;
+      }
+      emit(quote == '"' ? Tok::String : Tok::CharLit, "<lit>");
+      i = (j < n && src[j] == quote) ? j + 1 : j;
+      continue;
+    }
+
+    // Number (also eats 0x1p-3, 1'000'000, 1e-9 well enough).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (identCont(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && identCont(src[j + 1])) {
+          j += 2;  // digit separator
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      emit(Tok::Number, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (identStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && identCont(src[j])) ++j;
+      emit(Tok::Identifier, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+
+    // Fused punctuation the checks rely on.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      emit(Tok::Punct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      emit(Tok::Punct, "->");
+      i += 2;
+      continue;
+    }
+
+    emit(Tok::Punct, std::string(1, c));
+    ++i;
+  }
+
+  return f;
+}
+
+}  // namespace gtidy

@@ -1,0 +1,54 @@
+#pragma once
+
+// Minimal C++ token scanner backing gcopss-tidy (see README.md in this
+// directory for why this is a hand-rolled lexer rather than libTooling).
+// It understands exactly what the project-rule checks need: comments
+// (captured per line, for suppression / expectation annotations), string
+// and char literals (including raw strings), preprocessor lines (skipped,
+// but `#include "..."` targets are recorded), identifiers, numbers, and
+// punctuation with `::` and `->` fused into single tokens.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gtidy {
+
+enum class Tok : std::uint8_t {
+  Identifier,  // keywords included; checks match on text
+  Number,
+  String,  // any string literal (content dropped, single token)
+  CharLit,
+  Punct,  // single char, except the fused "::" and "->"
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+struct SourceFile {
+  std::string path;  // normalized, '/'-separated, repo-relative when possible
+  std::vector<Token> tokens;
+  // Raw line text (1-based index shifted: lines[i] is line i+1) for baseline
+  // fingerprints and diagnostics.
+  std::vector<std::string> lines;
+  // line number -> concatenated comment text appearing on that line.
+  std::map<int, std::string> comments;
+  // Lines whose only content is a comment (annotation lines: a suppression
+  // or expectation here applies to the next code line too).
+  std::map<int, bool> commentOnly;
+  // Targets of `#include "..."` directives, verbatim.
+  std::vector<std::string> includes;
+};
+
+// Lex `content` as the contents of `path`. Never throws on weird input;
+// unterminated constructs are closed at end-of-file.
+SourceFile lexFile(std::string path, const std::string& content);
+
+// Read a file fully; returns false (and clears `out`) if unreadable.
+bool readFile(const std::string& path, std::string& out);
+
+}  // namespace gtidy

@@ -1,0 +1,475 @@
+// gcopss-tidy — project-specific static analysis for the G-COPSS tree.
+//
+// Modes:
+//   gcopss-tidy --compdb <compile_commands.json> --root <repo-root>
+//               [--baseline <file>] [--write-baseline]
+//   gcopss-tidy --self-test <fixture-dir>
+//
+// Normal mode lexes every project TU named in the compilation database plus
+// the quoted-include closure under the repo root, runs the four rule
+// families, and (when --baseline is given) diffs findings against the
+// committed baseline: findings not in the baseline fail the run, and
+// baseline entries that no longer fire fail it too (the baseline may only
+// shrink). Self-test mode runs the rules over annotated fixtures and
+// requires findings and `gcopss-tidy:expect(<rule>)` annotations to match
+// exactly, both ways.
+//
+// Exit codes: 0 clean, 1 findings / expectation mismatch / stale baseline,
+// 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "lexer.hpp"
+
+namespace fs = std::filesystem;
+using gtidy::CheckOptions;
+using gtidy::Finding;
+using gtidy::SourceFile;
+
+namespace {
+
+// ------------------------------------------------------------------ paths
+
+std::string normalize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path abs = fs::weakly_canonical(p, ec);
+  if (ec) abs = p.lexically_normal();
+  fs::path rel = abs.lexically_relative(root);
+  if (rel.empty() || rel.native().rfind("..", 0) == 0) rel = abs;
+  return rel.generic_string();
+}
+
+bool isProjectSource(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh";
+}
+
+// ------------------------------------------------------- compdb (minimal)
+
+// Extract ("directory", "file") pairs from a compile_commands.json without a
+// JSON library: walk entries at object depth 1 and capture the two string
+// values we need. Handles the escapes CMake actually emits.
+bool parseCompdb(const std::string& text,
+                 std::vector<std::pair<std::string, std::string>>& out) {
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  int depth = 0;
+  std::string dir, file, key;
+  bool any = false;
+
+  auto readString = [&](std::size_t& j, std::string& s) {
+    s.clear();
+    ++j;  // opening quote
+    while (j < n && text[j] != '"') {
+      if (text[j] == '\\' && j + 1 < n) {
+        const char e = text[j + 1];
+        if (e == 'n') s.push_back('\n');
+        else if (e == 't') s.push_back('\t');
+        else s.push_back(e);  // \" \\ \/ and friends
+        j += 2;
+      } else {
+        s.push_back(text[j]);
+        ++j;
+      }
+    }
+    if (j < n) ++j;  // closing quote
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '{') {
+      ++depth;
+      if (depth == 1) {
+        dir.clear();
+        file.clear();
+      }
+      ++i;
+    } else if (c == '}') {
+      if (depth == 1 && !file.empty()) {
+        out.emplace_back(dir, file);
+        any = true;
+      }
+      --depth;
+      ++i;
+    } else if (c == '"') {
+      std::string s;
+      std::size_t j = i;
+      readString(j, s);
+      // Key or value? Peek for ':'.
+      std::size_t k = j;
+      while (k < n && (text[k] == ' ' || text[k] == '\t' || text[k] == '\n' ||
+                       text[k] == '\r')) {
+        ++k;
+      }
+      if (k < n && text[k] == ':') {
+        key = s;
+      } else if (depth == 1) {
+        if (key == "directory") dir = s;
+        else if (key == "file") file = s;
+        key.clear();
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+// ------------------------------------------------------------- file loading
+
+struct Loader {
+  fs::path root;
+  std::set<std::string> loaded;  // normalized paths
+  std::vector<SourceFile> files;
+
+  bool add(const fs::path& p) {
+    std::error_code ec;
+    if (!fs::exists(p, ec) || ec) return false;
+    const std::string norm = normalize(p, root);
+    if (!loaded.insert(norm).second) return true;
+    std::string content;
+    if (!gtidy::readFile(p.string(), content)) {
+      loaded.erase(norm);
+      return false;
+    }
+    files.push_back(gtidy::lexFile(norm, content));
+    return true;
+  }
+
+  // Resolve quoted includes of already-loaded files against the including
+  // file's directory and the conventional roots, until a fixpoint.
+  void closeOverIncludes() {
+    std::size_t done = 0;
+    while (done < files.size()) {
+      // Copy: `files` may reallocate while we add.
+      const std::vector<std::string> incs = files[done].includes;
+      const fs::path selfDir = (root / files[done].path).parent_path();
+      ++done;
+      for (const auto& inc : incs) {
+        for (const fs::path& base :
+             {selfDir, root / "src", root, root / "tests"}) {
+          const fs::path cand = base / inc;
+          std::error_code ec;
+          if (fs::exists(cand, ec) && !ec && isProjectSource(cand)) {
+            add(cand);
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+// -------------------------------------------------------------- baseline
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string collapseWs(const std::string& s) {
+  std::string out;
+  bool pendingSpace = false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      pendingSpace = !out.empty();
+    } else {
+      if (pendingSpace) out.push_back(' ');
+      pendingSpace = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string fingerprint(const Finding& f,
+                        const std::vector<SourceFile>& files) {
+  // Hash (rule, path, normalized line text) so pure line drift does not
+  // churn the baseline.
+  std::string lineText;
+  for (const auto& sf : files) {
+    if (sf.path != f.path) continue;
+    if (f.line >= 1 && f.line <= static_cast<int>(sf.lines.size())) {
+      lineText = collapseWs(sf.lines[static_cast<std::size_t>(f.line) - 1]);
+    }
+    break;
+  }
+  std::uint64_t h = fnv1a(f.rule);
+  h = fnv1a(f.path, h ^ 0x9e3779b97f4a7c15ULL);
+  h = fnv1a(lineText, h ^ 0x9e3779b97f4a7c15ULL);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+struct BaselineEntry {
+  std::string rule;
+  std::string fp;
+  std::string where;  // informational
+};
+
+bool loadBaseline(const std::string& path,
+                  std::vector<BaselineEntry>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    BaselineEntry e;
+    std::size_t a = line.find(' ');
+    if (a == std::string::npos) continue;
+    e.rule = line.substr(0, a);
+    std::size_t b = line.find(' ', a + 1);
+    if (b == std::string::npos) b = line.size();
+    e.fp = line.substr(a + 1, b - a - 1);
+    if (b < line.size()) e.where = line.substr(b + 1);
+    out.push_back(std::move(e));
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- self-test
+
+struct Expectation {
+  std::string path;
+  int line = 0;  // line the finding must land on
+  std::string rule;
+  bool matched = false;
+};
+
+void collectExpectations(const SourceFile& f, std::vector<Expectation>& out) {
+  static const std::string kTag = "gcopss-tidy:expect(";
+  for (const auto& [line, text] : f.comments) {
+    std::size_t pos = 0;
+    while ((pos = text.find(kTag, pos)) != std::string::npos) {
+      const std::size_t open = pos + kTag.size();
+      const std::size_t close = text.find(')', open);
+      if (close == std::string::npos) break;
+      std::string rule = text.substr(open, close - open);
+      // Trim.
+      while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
+      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+      Expectation e;
+      e.path = f.path;
+      e.rule = rule;
+      // A comment-only line expects the finding on the next line; an
+      // end-of-line comment expects it on its own line.
+      const auto co = f.commentOnly.find(line);
+      e.line = (co != f.commentOnly.end() && co->second) ? line + 1 : line;
+      out.push_back(std::move(e));
+      pos = close;
+    }
+  }
+}
+
+int runSelfTest(const fs::path& dir) {
+  Loader loader;
+  loader.root = fs::weakly_canonical(dir);
+  std::error_code ec;
+  std::vector<fs::path> inputs;
+  for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && isProjectSource(entry.path())) {
+      inputs.push_back(entry.path());
+    }
+  }
+  if (ec || inputs.empty()) {
+    std::cerr << "gcopss-tidy: no fixture sources under " << dir << "\n";
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& p : inputs) loader.add(p);
+
+  CheckOptions opts;
+  opts.selfTest = true;
+  const std::vector<Finding> findings = gtidy::runChecks(loader.files, opts);
+
+  std::vector<Expectation> expected;
+  for (const auto& f : loader.files) collectExpectations(f, expected);
+
+  int failures = 0;
+  std::vector<bool> findingMatched(findings.size(), false);
+  for (auto& e : expected) {
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      if (!findingMatched[i] && f.path == e.path && f.rule == e.rule &&
+          f.line == e.line) {
+        findingMatched[i] = true;
+        e.matched = true;
+        break;
+      }
+    }
+    if (!e.matched) {
+      std::cerr << "MISSING  " << e.path << ":" << e.line << " expected ["
+                << e.rule << "] but the rule did not fire\n";
+      ++failures;
+    }
+  }
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (!findingMatched[i]) {
+      const Finding& f = findings[i];
+      std::cerr << "SPURIOUS " << f.path << ":" << f.line << " [" << f.rule
+                << "] " << f.message << "\n";
+      ++failures;
+    }
+  }
+
+  if (failures) {
+    std::cerr << "gcopss-tidy self-test: " << failures << " mismatch(es), "
+              << expected.size() << " expectation(s), " << findings.size()
+              << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "gcopss-tidy self-test: OK (" << expected.size()
+            << " expectations matched across " << loader.files.size()
+            << " fixture files)\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ main
+
+void usage() {
+  std::cerr
+      << "usage: gcopss-tidy --compdb <compile_commands.json> --root <dir>\n"
+         "                   [--baseline <file>] [--write-baseline]\n"
+         "       gcopss-tidy --self-test <fixture-dir>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compdbPath, rootPath, baselinePath, selfTestDir;
+  bool writeBaseline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--compdb") compdbPath = next();
+    else if (a == "--root") rootPath = next();
+    else if (a == "--baseline") baselinePath = next();
+    else if (a == "--write-baseline") writeBaseline = true;
+    else if (a == "--self-test") selfTestDir = next();
+    else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "gcopss-tidy: unknown argument '" << a << "'\n";
+      usage();
+      return 2;
+    }
+  }
+
+  if (!selfTestDir.empty()) return runSelfTest(selfTestDir);
+
+  if (compdbPath.empty() || rootPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::string compdbText;
+  if (!gtidy::readFile(compdbPath, compdbText)) {
+    std::cerr << "gcopss-tidy: cannot read compdb " << compdbPath << "\n";
+    return 2;
+  }
+  std::vector<std::pair<std::string, std::string>> entries;
+  if (!parseCompdb(compdbText, entries)) {
+    std::cerr << "gcopss-tidy: no entries in " << compdbPath << "\n";
+    return 2;
+  }
+
+  Loader loader;
+  loader.root = fs::weakly_canonical(fs::path(rootPath));
+  for (const auto& [dir, file] : entries) {
+    fs::path p(file);
+    if (p.is_relative()) p = fs::path(dir) / p;
+    // Only analyze files under the repo root (skips external TUs).
+    const std::string norm = normalize(p, loader.root);
+    if (!norm.empty() && norm[0] == '/') continue;
+    if (!isProjectSource(p)) continue;
+    loader.add(p);
+  }
+  loader.closeOverIncludes();
+
+  if (loader.files.empty()) {
+    std::cerr << "gcopss-tidy: compdb named no project sources under "
+              << loader.root << "\n";
+    return 2;
+  }
+
+  CheckOptions opts;
+  std::vector<Finding> findings = gtidy::runChecks(loader.files, opts);
+
+  if (writeBaseline) {
+    std::ofstream out(baselinePath.empty() ? "baseline.txt" : baselinePath);
+    out << "# gcopss-tidy baseline — may only shrink. One accepted legacy\n"
+           "# finding per line: <rule> <fingerprint> <path>:<line>\n"
+           "# Regenerate a single entry by fixing the finding instead.\n";
+    for (const auto& f : findings) {
+      out << f.rule << " " << fingerprint(f, loader.files) << " " << f.path
+          << ":" << f.line << "\n";
+    }
+    std::cout << "gcopss-tidy: wrote " << findings.size()
+              << " baseline entries\n";
+    return 0;
+  }
+
+  std::vector<BaselineEntry> baseline;
+  if (!baselinePath.empty() && !loadBaseline(baselinePath, baseline)) {
+    std::cerr << "gcopss-tidy: cannot read baseline " << baselinePath << "\n";
+    return 2;
+  }
+
+  std::set<std::string> baselineFps;
+  for (const auto& e : baseline) baselineFps.insert(e.fp);
+
+  int newFindings = 0;
+  std::set<std::string> liveFps;
+  for (const auto& f : findings) {
+    const std::string fp = fingerprint(f, loader.files);
+    liveFps.insert(fp);
+    if (baselineFps.count(fp)) continue;
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+    ++newFindings;
+  }
+
+  int staleEntries = 0;
+  for (const auto& e : baseline) {
+    if (!liveFps.count(e.fp)) {
+      std::cerr << "stale baseline entry (finding fixed — delete the line): "
+                << e.rule << " " << e.fp << " " << e.where << "\n";
+      ++staleEntries;
+    }
+  }
+
+  if (newFindings || staleEntries) {
+    std::cerr << "gcopss-tidy: " << newFindings << " new finding(s), "
+              << staleEntries << " stale baseline entr"
+              << (staleEntries == 1 ? "y" : "ies") << " across "
+              << loader.files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "gcopss-tidy: clean (" << loader.files.size() << " files, "
+            << findings.size() << " baselined finding(s))\n";
+  return 0;
+}
