@@ -1,0 +1,232 @@
+// bench_congestion — the Fig. 6 sweep re-run on finite-bandwidth links with
+// per-face transmit queues (net/queue.hpp):
+//
+//   (a) saturated server uplink: every link gets the same finite capacity,
+//       but each IP server's attach link is additionally pinned well below
+//       its unicast fan-out. The client/server baseline's latency collapses
+//       (queueing delay + tail drops on the uplink) while the G-COPSS
+//       multicast tree, which never concentrates the fan-out on one edge,
+//       rides through at its uncongested latency.
+//   (b) queue-driven RP balancing: a single-root auto-balancing RP behind a
+//       pinched egress is split by RpLoadBalancer from *measured face-queue
+//       backlog* with an idle CPU — the Section IV-B trigger fed by the
+//       transmit queues rather than the RP's processing backlog.
+//
+// All reported numbers are simulated time, so they are bit-deterministic:
+// scripts/bench_check.py --congestion-fresh exact-matches a fresh --quick
+// run against the committed BENCH_congestion.json "quick_reference".
+//
+// Usage: bench_congestion [--quick] [--out PATH]
+//   --quick  CI-sized run (shorter sim, fewer sweep points); "mode": "quick"
+//   --out    where to write the JSON (default bench_results/BENCH_congestion.json)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gcopss;
+using namespace gcopss::gc;
+
+// Every link at 10 Mb/s keeps the multicast tree comfortable; the 2 Mb/s
+// server uplink is far below the unicast fan-out at every sweep point.
+constexpr double kLinkBps = 10e6;
+constexpr double kServerUplinkBps = 2e6;
+
+trace::Trace makeTrace(const game::GameMap& map, const game::ObjectDatabase& db,
+                       std::size_t players, SimTime duration) {
+  trace::CsTraceConfig tcfg;
+  tcfg.players = players;
+  // Same per-player rate as bench_fig6_scaling: the 414-player trace's
+  // 2.4 ms aggregate inter-arrival, rescaled to the sweep's player count.
+  tcfg.meanInterArrival =
+      static_cast<SimTime>(usF(2400) * 414.0 / static_cast<double>(players));
+  tcfg.totalUpdates = static_cast<std::size_t>(duration / tcfg.meanInterArrival);
+  tcfg.seed = 42 + players;
+  return trace::generateCsTrace(map, db, tcfg);
+}
+
+struct SweepPoint {
+  std::size_t players = 0;
+  RunSummary gcopss;
+  RunSummary ipserver;
+  double ratio() const {
+    return gcopss.meanMs > 0 ? ipserver.meanMs / gcopss.meanMs : 0.0;
+  }
+};
+
+void writeRun(std::FILE* f, const char* key, const RunSummary& r, bool comma) {
+  std::fprintf(f,
+               "      \"%s\": {\n"
+               "        \"mean_ms\": %.6f,\n"
+               "        \"p95_ms\": %.6f,\n"
+               "        \"max_ms\": %.6f,\n"
+               "        \"deliveries\": %llu,\n"
+               "        \"network_gb\": %.6f,\n"
+               "        \"queue_drops\": %llu,\n"
+               "        \"queue_mean_sojourn_ms\": %.6f,\n"
+               "        \"queue_max_sojourn_ms\": %.6f,\n"
+               "        \"queue_peak_bytes\": %llu\n"
+               "      }%s\n",
+               key, r.meanMs, r.p95Ms, r.maxMs,
+               static_cast<unsigned long long>(r.deliveries), r.networkGB,
+               static_cast<unsigned long long>(r.queueDrops), r.queueMeanSojournMs,
+               r.queueMaxSojournMs, static_cast<unsigned long long>(r.queuePeakBytes),
+               comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string outPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (outPath.empty()) outPath = bench::resultPath("BENCH_congestion.json");
+
+  bench::printHeader(
+      "congestion — Fig. 6 sweep on finite links, saturated server uplink",
+      "Section V-B under load; per-face queues from net/queue.hpp");
+
+  const SimTime duration = quick ? seconds(2) : seconds(20);
+  std::vector<std::size_t> sweep =
+      quick ? std::vector<std::size_t>{200, 400}
+            : std::vector<std::size_t>{100, 200, 300, 400};
+
+  const auto map = bench::paperMap();
+  const auto db = bench::paperObjects(map);
+  const LinkQueueConfig q = LinkQueueConfig::dropTail(64 * 1024);
+
+  std::printf("links %.0f Mb/s, server uplink %.1f Mb/s, %lld s sim\n\n",
+              kLinkBps / 1e6, kServerUplinkBps / 1e6,
+              static_cast<long long>(duration / kSecond));
+  std::printf("%8s %16s %14s %8s %14s %14s\n", "players", "G-COPSS lat(ms)",
+              "IP lat(ms)", "IP/G", "IP qdrops", "IP sojourn(ms)");
+
+  std::vector<SweepPoint> points;
+  std::vector<RunSummary> exported;
+  for (const std::size_t players : sweep) {
+    const auto trace = makeTrace(map, db, players, duration);
+
+    GCopssRunConfig g;
+    g.numRps = 3;
+    g.uniformBandwidthBps = kLinkBps;
+    g.linkQueues = q;
+
+    IpServerRunConfig s;
+    s.numServers = 3;
+    s.uniformBandwidthBps = kLinkBps;
+    s.serverUplinkBps = kServerUplinkBps;
+    s.linkQueues = q;
+
+    SweepPoint p;
+    p.players = players;
+    p.gcopss = runGCopssTrace(map, trace, g);
+    p.ipserver = runIpServerTrace(map, trace, s);
+
+    std::printf("%8zu %16.2f %14.2f %8.2f %14llu %14.2f\n", players,
+                p.gcopss.meanMs, p.ipserver.meanMs, p.ratio(),
+                static_cast<unsigned long long>(p.ipserver.queueDrops),
+                p.ipserver.queueMeanSojournMs);
+    std::fflush(stdout);
+
+    auto g2 = p.gcopss;
+    g2.label = "gcopss_sat_" + std::to_string(players);
+    g2.series.clear();
+    g2.latencyCdfMs.clear();
+    auto s2 = p.ipserver;
+    s2.label = "ipserver_sat_" + std::to_string(players);
+    s2.series.clear();
+    s2.latencyCdfMs.clear();
+    exported.push_back(std::move(g2));
+    exported.push_back(std::move(s2));
+    points.push_back(std::move(p));
+  }
+
+  // (b) queue-driven split: single root RP, cheap CPU, pinched links — the
+  // only backlog the balancer can see is the face-queue sojourn.
+  std::printf("\nbalancer: single root RP, 0.5 Mb/s links, CPU ~free...\n");
+  RunSummary bal;
+  {
+    const auto trace = makeTrace(map, db, sweep.back(), duration);
+    GCopssRunConfig g;
+    g.autoBalance = true;
+    g.balance.windowSize = 256;
+    g.balance.backlogThreshold = ms(20);
+    g.balance.cooldown = ms(500);
+    g.uniformBandwidthBps = 0.5e6;
+    g.linkQueues = q;
+    // Idle the CPU meters so the split can only come from the transmit
+    // queues: the Section IV-B trigger under a bandwidth (not CPU) hot spot.
+    g.params.rpProcessCost = us(1);
+    g.params.copssForwardCost = us(1);
+    bal = runGCopssTrace(map, trace, g);
+    bal.label = "balancer_queue_split";
+    bal.series.clear();
+    bal.latencyCdfMs.clear();
+  }
+  std::printf("  rp_splits=%llu queue_drops=%llu mean=%.2f ms peak_queue=%llu B\n",
+              static_cast<unsigned long long>(bal.rpSplits),
+              static_cast<unsigned long long>(bal.queueDrops), bal.meanMs,
+              static_cast<unsigned long long>(bal.queuePeakBytes));
+  exported.push_back(bal);
+
+  // ---- JSON report -----------------------------------------------------
+  std::FILE* f = std::fopen(outPath.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"congestion\",\n"
+               "  \"mode\": \"%s\",\n"
+               "  \"link_bps\": %.1f,\n"
+               "  \"server_uplink_bps\": %.1f,\n"
+               "  \"duration_sec\": %lld,\n"
+               "  \"sweep\": [\n",
+               quick ? "quick" : "full", kLinkBps, kServerUplinkBps,
+               static_cast<long long>(duration / kSecond));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"players\": %zu,\n"
+                 "      \"ip_over_gcopss\": %.6f,\n",
+                 p.players, p.ratio());
+    writeRun(f, "gcopss", p.gcopss, true);
+    writeRun(f, "ipserver", p.ipserver, false);
+    std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"balancer\": {\n"
+               "    \"rp_splits\": %llu,\n"
+               "    \"queue_drops\": %llu,\n"
+               "    \"mean_ms\": %.6f,\n"
+               "    \"queue_peak_bytes\": %llu\n"
+               "  }\n"
+               "}\n",
+               static_cast<unsigned long long>(bal.rpSplits),
+               static_cast<unsigned long long>(bal.queueDrops), bal.meanMs,
+               static_cast<unsigned long long>(bal.queuePeakBytes));
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", outPath.c_str());
+
+  bench::exportRuns("congestion", exported);
+  return 0;
+}

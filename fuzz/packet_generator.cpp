@@ -168,14 +168,16 @@ PacketPtr generatePacket(ByteSource& src, std::size_t depth) {
       std::vector<std::uint64_t> epochs;
       epochs.reserve(prefixes.size());
       for (std::size_t i = 0; i < prefixes.size(); ++i) epochs.push_back(src.u64());
+      const auto ttl =
+          static_cast<std::uint32_t>(src.u64() % (wire::kMaxReclaimTtl + 1));
       return makePacket<copss::RpReclaimPacket>(genNode(src), std::move(prefixes),
-                                                std::move(epochs));
+                                                std::move(epochs), ttl, src.u64());
     }
     case WireTag::RpDemote: {
       auto prefixes = genNames(src, 5, 1);
       auto epochs = genEpochs(src, prefixes);
       return makePacket<copss::RpDemotePacket>(genNode(src), std::move(prefixes),
-                                               std::move(epochs));
+                                               std::move(epochs), src.u64());
     }
     case WireTag::kWireTagEnd:
       break;

@@ -91,9 +91,11 @@ PacketPtr representative(wire::WireTag tag) {
       return makePacket<copss::AnnouncePacket>(cd, Name::parse("/content/blob"),
                                                4096, 23, 14, 2);
     case wire::WireTag::RpReclaim:
-      return makePacket<copss::RpReclaimPacket>(6, cds, epochs);
+      return makePacket<copss::RpReclaimPacket>(6, cds, epochs, /*ttl=*/2,
+                                                /*nonce=*/(6ULL << 32) + 1);
     case wire::WireTag::RpDemote:
-      return makePacket<copss::RpDemotePacket>(6, cds, epochs);
+      return makePacket<copss::RpDemotePacket>(6, cds, epochs,
+                                               /*nonce=*/(6ULL << 32) + 1);
     case wire::WireTag::kWireTagEnd:
       break;
   }

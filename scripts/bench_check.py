@@ -17,11 +17,22 @@ fewer hardware threads run the equivalence check only; scaling cannot be
 certified on hardware that cannot scale, and pretending otherwise would just
 make the gate flaky.
 
+With --congestion-fresh it also gates the finite-bandwidth story
+(BENCH_congestion schema). Every number in that report is simulated time, so
+a fresh --quick run must reproduce the committed "quick_reference" exactly —
+any drift means the queueing model changed behaviour. On top of the exact
+match, the qualitative claims are asserted outright: at the heaviest sweep
+point the saturated IP uplink must cost at least 2x the G-COPSS latency and
+must have dropped packets, while the auto-balancing run must have split the
+root RP from measured face-queue backlog at least once.
+
 Usage:
   scripts/bench_check.py --fresh BENCH_core_quick.json [--baseline BENCH_core.json]
                          [--threshold 0.20]
                          [--parallel-fresh BENCH_parallel_quick.json]
                          [--min-speedup 1.3]
+                         [--congestion-fresh BENCH_congestion_quick.json]
+                         [--congestion-baseline BENCH_congestion.json]
 
 Exit status: 0 ok, 1 regression/violation, 2 bad input.
 """
@@ -106,6 +117,49 @@ def check_parallel(fresh, min_speedup):
     return failures
 
 
+def check_congestion(fresh, base):
+    """Gate a BENCH_congestion run: exact reproduction of the committed
+    quick_reference (everything in it is deterministic sim time), plus the
+    qualitative saturation/balancer claims the bench exists to demonstrate."""
+    failures = []
+
+    if fresh.get("mode") != "quick":
+        failures.append(f"congestion: fresh run has mode={fresh.get('mode')!r}, "
+                        "expected a --quick run")
+        return failures
+
+    for key in ("sweep", "balancer", "link_bps", "server_uplink_bps"):
+        if fresh.get(key) != base.get(key):
+            failures.append(
+                f"congestion: fresh {key!r} differs from the committed "
+                f"quick_reference — the deterministic queueing model drifted")
+
+    sweep = fresh.get("sweep") or []
+    if not sweep:
+        failures.append("congestion: fresh report has an empty sweep")
+        return failures
+    heaviest = max(sweep, key=lambda p: p["players"])
+    ratio = heaviest["ip_over_gcopss"]
+    ip_drops = heaviest["ipserver"]["queue_drops"]
+    print(f"congestion: {heaviest['players']} players — IP/G-COPSS latency "
+          f"{ratio:.2f}x, IP uplink drops {ip_drops:,}")
+    if ratio < 2.0:
+        failures.append(
+            f"congestion: saturated IP uplink only {ratio:.2f}x worse than "
+            "G-COPSS at the heaviest point (need >= 2x)")
+    if ip_drops <= 0:
+        failures.append("congestion: saturated IP uplink dropped nothing — "
+                        "the uplink is not actually saturated")
+
+    splits = fresh.get("balancer", {}).get("rp_splits", 0)
+    print(f"congestion: balancer rp_splits={splits}")
+    if splits < 1:
+        failures.append("congestion: auto-balancer never split the root RP "
+                        "from face-queue backlog")
+
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True, help="JSON from a fresh bench_core --quick run")
@@ -118,6 +172,10 @@ def main():
     ap.add_argument("--min-speedup", type=float, default=1.3,
                     help="required threads=4 speedup over serial on >=4-thread "
                          "hosts (default 1.3)")
+    ap.add_argument("--congestion-fresh", default=None,
+                    help="JSON from a fresh bench_congestion --quick run (optional)")
+    ap.add_argument("--congestion-baseline", default="BENCH_congestion.json",
+                    help="committed congestion baseline (default: BENCH_congestion.json)")
     args = ap.parse_args()
 
     try:
@@ -148,6 +206,22 @@ def main():
             print(f"bench_check: cannot read parallel input: {e}", file=sys.stderr)
             return 2
         failures += check_parallel(parallel, args.min_speedup)
+
+    if args.congestion_fresh:
+        try:
+            with open(args.congestion_fresh) as f:
+                congestion = json.load(f)
+            with open(args.congestion_baseline) as f:
+                congestion_base = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_check: cannot read congestion input: {e}", file=sys.stderr)
+            return 2
+        cref = congestion_base.get("quick_reference")
+        if cref is None:
+            print("bench_check: congestion baseline has no 'quick_reference' section",
+                  file=sys.stderr)
+            return 2
+        failures += check_congestion(congestion, cref)
 
     if failures:
         print("\nFAIL:")

@@ -181,6 +181,7 @@ void InvariantChecker::onDrop(NodeId at, const PacketPtr& pkt, DropReason reason
     case DropReason::NodeFailed: ++nodeFailedDrops_; break;
     case DropReason::BufferFull: ++bufferDrops_; break;
     case DropReason::CrashedQueued: ++crashedQueuedDrops_; break;
+    case DropReason::QueueDrop: ++queueDrops_; break;
   }
 }
 
@@ -480,9 +481,11 @@ void InvariantChecker::auditEpochMonotonicity() {
 }
 
 void InvariantChecker::auditConservation(bool strict) {
+  // Queue drops are wire-side losses: the copy was put on the wire
+  // (onWireSend fired) but the sender's face queue refused it.
   const auto wireDelta =
       static_cast<std::int64_t>(wireSends_) -
-      static_cast<std::int64_t>(wireFaultDrops_ + wireArrivals_);
+      static_cast<std::int64_t>(wireFaultDrops_ + queueDrops_ + wireArrivals_);
   const auto cpuDelta =
       static_cast<std::int64_t>(wireArrivals_ + localEnqueues_) -
       static_cast<std::int64_t>(nodeFailedDrops_ + bufferDrops_ +
@@ -492,6 +495,7 @@ void InvariantChecker::auditConservation(bool strict) {
                  std::string(where) + " ledger off by " + std::to_string(d) +
                      " (sent=" + std::to_string(wireSends_) +
                      " wireDrop=" + std::to_string(wireFaultDrops_) +
+                     " queueDrop=" + std::to_string(queueDrops_) +
                      " arrived=" + std::to_string(wireArrivals_) +
                      " local=" + std::to_string(localEnqueues_) +
                      " cpuDrop=" +
@@ -511,8 +515,9 @@ void InvariantChecker::auditConservation(bool strict) {
   // meters count at the same sites, so any skew is an accounting bug.
   const std::uint64_t meterSends = net_.totalLinkPackets() - baseLinkPackets_;
   const std::uint64_t meterDrops = net_.totalDrops() - baseDrops_;
-  const std::uint64_t ledgerDrops =
-      wireFaultDrops_ + nodeFailedDrops_ + bufferDrops_ + crashedQueuedDrops_;
+  const std::uint64_t ledgerDrops = wireFaultDrops_ + queueDrops_ +
+                                    nodeFailedDrops_ + bufferDrops_ +
+                                    crashedQueuedDrops_;
   if (meterSends != wireSends_) {
     addViolation(Invariant::PacketConservation, kInvalidNode,
                  "link-packet meter " + std::to_string(meterSends) +

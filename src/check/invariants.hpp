@@ -185,6 +185,7 @@ class InvariantChecker : public PacketObserver {
   // -- conservation ledger (pure packet-copy accounting) --
   std::uint64_t wireSends_ = 0;
   std::uint64_t wireFaultDrops_ = 0;
+  std::uint64_t queueDrops_ = 0;  // sender face-queue refusals (wire-side)
   std::uint64_t wireArrivals_ = 0;   // enqueues with a real arrival face
   std::uint64_t localEnqueues_ = 0;  // enqueues originated on-node
   std::uint64_t nodeFailedDrops_ = 0;

@@ -245,12 +245,24 @@ struct ResyncRequestPacket : Packet {
 // restarted RP silently re-advertises and the network splits-brain.
 struct RpReclaimPacket : Packet {
   static constexpr Kind kKind = Kind::RpReclaim;
-  RpReclaimPacket(NodeId originIn, std::vector<Name> p, std::vector<std::uint64_t> e)
+  RpReclaimPacket(NodeId originIn, std::vector<Name> p, std::vector<std::uint64_t> e,
+                  std::uint32_t ttlIn = 0, std::uint64_t nonceIn = 0)
       : Packet(kKind, kControlPacketBytes), origin(originIn), prefixes(std::move(p)),
-        epochs(std::move(e)) {}
+        epochs(std::move(e)), ttl(ttlIn), nonce(nonceIn) {}
   NodeId origin;
   std::vector<Name> prefixes;
   std::vector<std::uint64_t> epochs;  // the claimant's epoch per prefix
+  // Remaining forwarding budget: a router receiving ttl > 0 re-sends a fresh
+  // copy (ttl - 1) to its other router faces, so the probe reaches the
+  // routers that actually observed a takeover a few hops behind a healed
+  // partition — the direct neighbours may be as stale as the claimant.
+  // 0 reproduces the legacy one-hop probe.
+  std::uint32_t ttl;
+  // Flood-suppression and reverse-path key, minted by the claimant
+  // (id << 32 | counter — the nextNonce_ scheme). Intermediates remember the
+  // arrival face per nonce and route answering demotes back along it.
+  // 0: legacy un-keyed probe (never forwarded, never deduped).
+  std::uint64_t nonce;
 };
 
 // Neighbour -> restarted RP: the listed prefixes are owned elsewhere at the
@@ -259,12 +271,17 @@ struct RpReclaimPacket : Packet {
 // rejoins the tree as a plain subscriber of its old prefix.
 struct RpDemotePacket : Packet {
   static constexpr Kind kKind = Kind::RpDemote;
-  RpDemotePacket(NodeId originIn, std::vector<Name> p, std::vector<std::uint64_t> e)
+  RpDemotePacket(NodeId originIn, std::vector<Name> p, std::vector<std::uint64_t> e,
+                 std::uint64_t nonceIn = 0)
       : Packet(kKind, kControlPacketBytes), origin(originIn), prefixes(std::move(p)),
-        epochs(std::move(e)) {}
+        epochs(std::move(e)), nonce(nonceIn) {}
   NodeId origin;
   std::vector<Name> prefixes;
   std::vector<std::uint64_t> epochs;  // highest epoch the sender has observed
+  // Echo of the answered reclaim's nonce: lets intermediates that relayed
+  // the TTL'd probe route this demote back toward the claimant. 0: direct
+  // (one-hop) answer, never relayed.
+  std::uint64_t nonce;
 };
 
 }  // namespace gcopss::copss

@@ -377,7 +377,10 @@ bool CopssRouter::retireTo(NodeId target) {
 
 void CopssRouter::maybeSplit() {
   if (rpCandidates_.empty()) return;
-  if (!balancer_.shouldSplit(cpuBacklog(), sim().now())) return;
+  // Load = CPU service backlog plus the worst egress face-queue backlog: an
+  // RP whose uplink is saturated is congested even with an idle CPU
+  // (Section IV-B's hot spot is the link, not just the processor).
+  if (!balancer_.shouldSplit(cpuBacklog() + faceQueueBacklog(), sim().now())) return;
   auto cds = balancer_.selectCdsToMove();
   if (cds.empty()) return;
   // "Random" candidate selection (the paper uses a random process); keyed on
@@ -742,6 +745,7 @@ void CopssRouter::onCrash() {
   ++watchGen_;
   watchedPrefixes_.clear();
   watchedEpochs_.clear();
+  seenReclaims_.clear();
   lastHeartbeatAt_ = 0;
   failedOver_ = false;
   if (opts_.epochStorageLoss) {
@@ -774,8 +778,13 @@ void CopssRouter::onRestart() {
     std::vector<std::uint64_t> epochs;
     epochs.reserve(prefixes.size());
     for (const Name& p : prefixes) epochs.push_back(claimEpoch(p));
-    const auto reclaim =
-        makePacket<RpReclaimPacket>(id(), std::move(prefixes), std::move(epochs));
+    // Nonce: dedup key for the TTL'd relay flood and the tag answering
+    // demotes carry back. Recorded as self-originated so a copy a ring
+    // routes back to us is ignored.
+    const std::uint64_t nonce = nextNonce_++;
+    seenReclaims_[nonce] = kInvalidNode;
+    const auto reclaim = makePacket<RpReclaimPacket>(
+        id(), std::move(prefixes), std::move(epochs), opts_.reclaimTtl, nonce);
     for (NodeId nb : network().topology().neighbors(id())) {
       if (!hostFaces_.count(nb)) {
         send(nb, reclaim);
@@ -813,10 +822,13 @@ void CopssRouter::onResyncRequest(NodeId fromFace, const ResyncRequestPacket& pk
 }
 
 void CopssRouter::onReclaim(NodeId fromFace, const RpReclaimPacket& pkt) {
-  // One-hop query from a restarted RP. Answer with a demote for every prefix
-  // where we observed a higher epoch than the claimant persisted; otherwise
-  // record the (still current) claim. Not forwarded: every neighbour of the
-  // claimant gets its own copy, and one demote suffices to retire it.
+  // Query from a restarted RP (direct, or relayed by a neighbour when the
+  // probe carries a TTL). Answer with a demote for every prefix where we
+  // observed a higher epoch than the claimant persisted; otherwise record
+  // the (still current) claim.
+  if (pkt.nonce != 0 && !seenReclaims_.emplace(pkt.nonce, fromFace).second) {
+    return;  // duplicate relay (or our own probe looped back): drop
+  }
   std::vector<Name> stale;
   std::vector<std::uint64_t> staleEpochs;
   for (std::size_t i = 0; i < pkt.prefixes.size(); ++i) {
@@ -830,13 +842,28 @@ void CopssRouter::onReclaim(NodeId fromFace, const RpReclaimPacket& pkt) {
     }
     observeEpoch(prefix, claimed);
     if (claimEpoch(prefix) != 0 && claimEpoch(prefix) < claimed) {
-      // Our own (lower-epoch) claim loses to the reclaimed one.
+      // Our own (lower-epoch) claim loses to the reclaimed one. Counts as a
+      // demotion: with the TTL'd relay a rival's probe can reach us hops
+      // away and retire the claim before any demote answer would.
       retireClaim(prefix, fromFace, /*rejoinAsSubscriber=*/false);
+      ++demotions_;
     }
   }
   if (!stale.empty()) {
-    send(fromFace,
-         makePacket<RpDemotePacket>(id(), std::move(stale), std::move(staleEpochs)));
+    send(fromFace, makePacket<RpDemotePacket>(id(), std::move(stale),
+                                              std::move(staleEpochs), pkt.nonce));
+  }
+  // TTL'd relay: push the probe past the direct neighbours so a router that
+  // actually witnessed the takeover — a few hops behind a healed partition —
+  // gets to answer too. Fresh copies (a Packet is immutable once sent), one
+  // hop less of budget, duplicate-suppressed above by nonce.
+  if (pkt.ttl > 0 && pkt.nonce != 0) {
+    for (NodeId nb : network().topology().neighbors(id())) {
+      if (nb == fromFace || hostFaces_.count(nb)) continue;
+      send(nb, makePacket<RpReclaimPacket>(pkt.origin, pkt.prefixes, pkt.epochs,
+                                           pkt.ttl - 1, pkt.nonce));
+      ++reclaimForwards_;
+    }
   }
 }
 
@@ -844,12 +871,33 @@ void CopssRouter::onDemote(NodeId fromFace, const RpDemotePacket& pkt) {
   for (std::size_t i = 0; i < pkt.prefixes.size(); ++i) {
     const Name& prefix = pkt.prefixes[i];
     const std::uint64_t epoch = i < pkt.epochs.size() ? pkt.epochs[i] : 0;
+    const std::uint64_t seenBefore = epochSeen(prefix);
     observeEpoch(prefix, epoch);
     // Idempotent: several neighbours may each answer our reclaim; only the
     // first demote per prefix finds a live claim to retire.
     if (rpPrefixes_.count(prefix) > 0 && claimEpoch(prefix) < epoch) {
       retireClaim(prefix, fromFace, /*rejoinAsSubscriber=*/true);
       ++demotions_;
+    } else if (rpPrefixes_.count(prefix) == 0 && epoch > seenBefore &&
+               fromFace != ndn::kLocalFace) {
+      // Route repair along the reverse path: a demote carrying an epoch we
+      // had never witnessed means the current owner's takeover flood missed
+      // us (e.g. we were down behind a partition). Our route for the prefix
+      // predates that epoch, so re-point it toward the face the demote came
+      // from — the answering witness knows the way, restoring a loop-free
+      // gradient toward the live RP as the demote rides back hop by hop.
+      cdFib_.removePrefix(prefix);
+      cdFib_.insert(prefix, fromFace);
+    }
+  }
+  // Answer to a relayed probe: ride the recorded reverse path back toward
+  // the claimant (kInvalidNode marks the claimant itself — stop there).
+  if (pkt.nonce != 0) {
+    const auto it = seenReclaims_.find(pkt.nonce);
+    if (it != seenReclaims_.end() && it->second != kInvalidNode &&
+        it->second != fromFace) {
+      send(it->second, makePacket<RpDemotePacket>(pkt.origin, pkt.prefixes,
+                                                  pkt.epochs, pkt.nonce));
     }
   }
 }

@@ -47,6 +47,13 @@ class CopssRouter : public Node {
     // epoch owns them now. Off reproduces the pre-epoch split-brain (a
     // restarted RP silently re-advertises) for regression tests.
     bool epochReconcile = true;
+    // Forwarding budget for the restart reclaim probe. 0: the probe stops at
+    // the direct neighbours (legacy) — behind a healed partition those may be
+    // as stale as the claimant, so split-brain persists until FIB traffic
+    // happens to cross. N > 0: routers relay fresh copies N hops further
+    // (duplicate-suppressed per nonce) and route answering demotes back
+    // along the reverse path, so convergence needs no data-plane luck.
+    std::uint32_t reclaimTtl = 2;
     // Chaos knob: the RP's epoch storage rolls back on crash — the restarted
     // node forgets its high-water mark and re-claims every held prefix at
     // epoch 1, as if the counter lived on storage that was restored from an
@@ -123,6 +130,7 @@ class CopssRouter : public Node {
   std::uint64_t subscriptionReplays() const { return subscriptionReplays_; }
   std::uint64_t joinReplays() const { return joinReplays_; }
   std::uint64_t reclaimsSent() const { return reclaimsSent_; }
+  std::uint64_t reclaimForwards() const { return reclaimForwards_; }
   std::uint64_t demotions() const { return demotions_; }
   std::uint64_t staleAnnouncementsIgnored() const { return staleAnnouncementsIgnored_; }
 
@@ -248,6 +256,12 @@ class CopssRouter : public Node {
 
   std::map<std::uint64_t, TxnState> txns_;
   std::unordered_set<std::uint64_t> seenFloods_;
+  // TTL'd reclaim probes already seen: nonce -> arrival face (kInvalidNode
+  // for probes we originated). Dedups the relay flood and records the
+  // reverse path answering demotes ride back on. Kept separate from
+  // seenFloods_ — reclaim nonces and migration txnIds use different
+  // counters and could collide. Volatile (cleared on crash).
+  std::unordered_map<std::uint64_t, NodeId> seenReclaims_;
   // seq -> faces already served; ring-evicted.
   SeqWindowMap<std::vector<NodeId>> sentFaces_;
   // Capacity-recycled scratch for stForward's ST match (moved out and back
@@ -289,6 +303,7 @@ class CopssRouter : public Node {
   std::uint64_t subscriptionReplays_ = 0;
   std::uint64_t joinReplays_ = 0;
   std::uint64_t reclaimsSent_ = 0;
+  std::uint64_t reclaimForwards_ = 0;
   std::uint64_t demotions_ = 0;
   std::uint64_t staleAnnouncementsIgnored_ = 0;
   std::uint64_t nextNonce_ = (static_cast<std::uint64_t>(id()) << 32) + 1;

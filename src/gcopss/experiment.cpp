@@ -110,6 +110,15 @@ void fillLatencySummary(RunSummary& out, const metrics::LatencyRecorder& lat,
   out.latencyCdfMs = s.cdfPoints(cdfPoints);
 }
 
+void fillQueueSummary(RunSummary& out, const Network& net) {
+  if (!net.linkQueuesEnabled()) return;  // fields stay zero
+  const QueueAggregate qa = net.queueAggregate();
+  out.queueDrops = net.totalQueueDrops();
+  out.queueMeanSojournMs = qa.meanSojournMs();
+  out.queueMaxSojournMs = qa.maxSojournMs();
+  out.queuePeakBytes = qa.peakBytesQueued;
+}
+
 // Replays trace records through a per-record action, one pending event at a
 // time (keeps the event queue small even for million-record traces).
 class TracePump {
@@ -190,6 +199,12 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
     clients.push_back(&client);
     dynamic_cast<copss::CopssRouter&>(net.node(edge)).markHostFace(h);
   }
+
+  // --- links ---
+  // The topology is final (hosts attached): apply the bandwidth override and
+  // build the face queues before any traffic exists.
+  if (cfg.uniformBandwidthBps > 0) topo.setAllBandwidths(cfg.uniformBandwidthBps);
+  if (cfg.linkQueues.enabled) net.enableLinkQueues(cfg.linkQueues);
 
   // --- event engine ---
   // Every node is attached; switch to the parallel engine now (if asked) so
@@ -342,6 +357,7 @@ RunSummary runGCopssTrace(const game::GameMap& map, const trace::Trace& trace,
   out.networkGB = toGB(net.totalLinkBytes());
   out.linkPackets = net.totalLinkPackets();
   out.drops = net.totalDrops();
+  fillQueueSummary(out, net);
   out.rpSplits = rpSplits.load(std::memory_order_relaxed);
   out.eventsExecuted = psim ? psim->totalEventsExecuted() : sim.totalEventsExecuted();
   for (auto* r : routers) {
@@ -374,6 +390,13 @@ RunSummary runIpServerTrace(const game::GameMap& map, const trace::Trace& trace,
   const auto hosts = attachHosts(topo, built.hostAttach, trace.playerPositions.size(), rng);
 
   Network net(sim, topo, cfg.params);
+  if (cfg.uniformBandwidthBps > 0) topo.setAllBandwidths(cfg.uniformBandwidthBps);
+  if (cfg.serverUplinkBps > 0) {
+    for (std::size_t i = 0; i < serverNodes.size(); ++i) {
+      topo.setLinkBandwidth(serverNodes[i], serverSites[i], cfg.serverUplinkBps);
+    }
+  }
+  if (cfg.linkQueues.enabled) net.enableLinkQueues(cfg.linkQueues);
   for (NodeId r : built.routers) net.emplaceNode<ipserver::IpRouter>(r, net);
 
   ipserver::ServerDirectory directory;
@@ -414,6 +437,7 @@ RunSummary runIpServerTrace(const game::GameMap& map, const trace::Trace& trace,
   out.networkGB = toGB(net.totalLinkBytes());
   out.linkPackets = net.totalLinkPackets();
   out.drops = net.totalDrops();
+  fillQueueSummary(out, net);
   out.eventsExecuted = sim.totalEventsExecuted();
   return out;
 }

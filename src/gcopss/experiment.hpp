@@ -12,6 +12,7 @@
 #include "game/objects.hpp"
 #include "metrics/latency.hpp"
 #include "net/params.hpp"
+#include "net/queue.hpp"
 #include "trace/trace.hpp"
 
 namespace gcopss {
@@ -42,6 +43,11 @@ struct RunSummary {
   double networkGB = 0.0;
   std::uint64_t linkPackets = 0;
   std::uint64_t drops = 0;
+  // Face-queue view (all zero unless the run enabled link queues).
+  std::uint64_t queueDrops = 0;
+  double queueMeanSojournMs = 0.0;
+  double queueMaxSojournMs = 0.0;
+  Bytes queuePeakBytes = 0;
   std::uint64_t rpSplits = 0;
   std::uint64_t eventsExecuted = 0;
   std::uint64_t bloomFalsePositives = 0;
@@ -95,6 +101,13 @@ struct GCopssRunConfig {
   std::uint64_t seed = 1;
   SimTime warmup = ms(500);
 
+  // Finite-bandwidth links. uniformBandwidthBps > 0 overrides every link's
+  // capacity (the saturation knob for bench_congestion); linkQueues.enabled
+  // puts a per-face transmit queue on every directed link (net/queue.hpp).
+  // Defaults preserve the legacy infinite-buffer behaviour bit-for-bit.
+  double uniformBandwidthBps = 0.0;
+  LinkQueueConfig linkQueues;
+
   // Event engine. 0 = the classic serial Simulator. N >= 1 = the
   // ParallelSimulator with N worker shards (nodes partitioned round-robin,
   // conservative lookahead = the topology's min link delay). Results are
@@ -133,6 +146,13 @@ struct IpServerRunConfig {
   SimTime warmup = ms(500);
   std::size_t seriesPoints = 60;
   std::size_t cdfPoints = 50;
+  // Finite-bandwidth links (see GCopssRunConfig). serverUplinkBps > 0
+  // additionally pins each server's attach link — the saturated-uplink
+  // scenario where the unicast fan-out melts first (applied after the
+  // uniform override).
+  double uniformBandwidthBps = 0.0;
+  double serverUplinkBps = 0.0;
+  LinkQueueConfig linkQueues;
 };
 
 RunSummary runIpServerTrace(const game::GameMap& map, const trace::Trace& trace,

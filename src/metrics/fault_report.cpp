@@ -14,6 +14,12 @@ FaultRecoveryReport collectFaultRecovery(
   FaultRecoveryReport r;
   r.injected = net.faultStats();
   r.networkDrops = net.totalDrops();
+  if (net.linkQueuesEnabled()) {
+    r.queueDrops = net.totalQueueDrops();
+    const QueueAggregate qa = net.queueAggregate();
+    r.queueMaxSojournMs = qa.maxSojournMs();
+    r.queueMeanSojournMs = qa.meanSojournMs();
+  }
   for (const auto* router : routers) {
     r.acksSent += router->acksSent();
     r.heartbeatsSent += router->heartbeatsSent();
@@ -41,7 +47,8 @@ bool writeFaultRecoveryCsv(const std::string& path, const FaultRecoveryReport& r
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   out << "random_loss,link_down_loss,jittered,reordered,crashes,restarts,"
-         "network_drops,acks_sent,heartbeats_sent,failovers,last_failover_ms,"
+         "network_drops,queue_drops,queue_max_sojourn_ms,queue_mean_sojourn_ms,"
+         "acks_sent,heartbeats_sent,failovers,last_failover_ms,"
          "resync_requests,subscription_replays,join_replays,reclaims,demotions,"
          "stale_announcements_ignored,retransmissions,"
          "acks_received,publish_failures,resubscribes,expected,delivered,"
@@ -49,7 +56,9 @@ bool writeFaultRecoveryCsv(const std::string& path, const FaultRecoveryReport& r
   out << r.injected.randomLoss << ',' << r.injected.linkDownLoss << ','
       << r.injected.jittered << ',' << r.injected.reordered << ','
       << r.injected.crashes << ',' << r.injected.restarts << ','
-      << r.networkDrops << ',' << r.acksSent << ',' << r.heartbeatsSent << ','
+      << r.networkDrops << ',' << r.queueDrops << ',' << r.queueMaxSojournMs
+      << ',' << r.queueMeanSojournMs << ','
+      << r.acksSent << ',' << r.heartbeatsSent << ','
       << r.failovers << ',' << (r.lastFailoverAt < 0 ? -1.0 : toMs(r.lastFailoverAt))
       << ',' << r.resyncRequests << ',' << r.subscriptionReplays << ','
       << r.joinReplays << ',' << r.reclaims << ',' << r.demotions << ','

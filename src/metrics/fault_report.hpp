@@ -24,6 +24,10 @@ struct FaultRecoveryReport {
   // --- injected (from the Network's FaultInjector) ---
   FaultStats injected;
   std::uint64_t networkDrops = 0;  // all drops: faults + blackholes + buffers
+  // --- link congestion (zero unless the run enabled face queues) ---
+  std::uint64_t queueDrops = 0;       // face-queue refusals (subset of networkDrops)
+  double queueMaxSojournMs = 0.0;     // worst admit -> last-bit-out interval
+  double queueMeanSojournMs = 0.0;
 
   // --- recovery actions (routers) ---
   std::uint64_t acksSent = 0;

@@ -13,6 +13,10 @@ SimTime Node::cpuBacklog() const {
   return cpuFreeAt_ > now ? cpuFreeAt_ - now : 0;
 }
 
+SimTime Node::faceQueueBacklog() const {
+  return net_->maxFaceBacklog(id_, shardSim_->now());
+}
+
 void Node::send(NodeId toFace, PacketPtr pkt) { net_->transmit(id_, toFace, std::move(pkt)); }
 
 void Node::sendAfter(SimTime delay, NodeId toFace, PacketPtr pkt) {
@@ -83,7 +87,25 @@ void Network::meterDrop() {
   ++totalDrops_;
 }
 
+void Network::meterQueueDrop() {
+  // A queue refusal is a drop (totalDrops) with its own reason counter.
+  if (par_) {
+    const std::size_t sh = ParallelSimulator::currentShard();
+    if (sh != ParallelSimulator::kNoShard) {
+      ++shardMeters_[sh].drops;
+      ++shardMeters_[sh].queueDrops;
+      return;
+    }
+  }
+  ++totalDrops_;
+  ++totalQueueDrops_;
+}
+
 void Network::transmit(NodeId from, NodeId to, PacketPtr pkt) {
+  if (!faceQueues_.empty()) {
+    transmitQueued(from, to, std::move(pkt));
+    return;
+  }
   const Topology::Link& link = topo_.linkBetween(from, to);
   meterTx(pkt->size);
   // `now` on the sender's lane: identical to sim_.now() when serial, and in
@@ -121,6 +143,109 @@ void Network::transmit(NodeId from, NodeId to, PacketPtr pkt) {
   sim_.schedule(arrival, [this, to, from, p = std::move(pkt)]() mutable {
     enqueueCpu(to, from, std::move(p));
   });
+}
+
+void Network::transmitQueued(NodeId from, NodeId to, PacketPtr pkt) {
+  const std::size_t li = topo_.linkIndexBetween(from, to);
+  assert(2 * li + 1 < faceQueues_.size() &&
+         "link added after enableLinkQueues — call it once the topology is final");
+  const Topology::Link& link = topo_.links()[li];
+  meterTx(pkt->size);
+  Node& sender = node(from);
+  const SimTime now = sender.shardSim_->now();
+  if (observer_) observer_->onWireSend(from, to, pkt, now);
+  // Fault verdicts keep their one-draw-per-transmit order (the RNG-lane
+  // streams stay aligned with the unqueued path); loss is modelled at the
+  // egress port, before the packet takes queue space.
+  SimTime extraDelay = 0;
+  if (fault_) {
+    const auto verdict = fault_->onTransmit(from, to, now);
+    if (verdict.drop) {
+      meterDrop();
+      if (observer_) observer_->onDrop(to, pkt, DropReason::WireFault, now);
+      return;
+    }
+    extraDelay = verdict.extraDelay;
+  }
+  FaceQueue& q = faceQueues_[2 * li + (from == link.a ? 0 : 1)];
+  const auto adm = q.admit(now, pkt->size);
+  if (!adm.admitted) {
+    meterQueueDrop();
+    if (observer_) observer_->onDrop(to, pkt, DropReason::QueueDrop, now);
+    return;
+  }
+  // Serialization completion on the sender's own lane: closes the occupancy
+  // window (the queue never crosses a shard boundary).
+  sender.shardSim_->scheduleAt(adm.txDone, [&q, sz = pkt->size]() { q.depart(sz); });
+  // Receiver sees the packet one propagation delay after the last bit
+  // leaves. txDone >= now, so cross-shard arrivals still respect the
+  // min-propagation-delay lookahead the parallel engine is built on.
+  const SimTime arrival = (adm.txDone - now) + link.delay + extraDelay;
+  if (par_) {
+    const ParallelSimulator::RemoteKey key{
+        now, static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)),
+        sender.sendSeq_++};
+    par_->post(shardOf_[static_cast<std::size_t>(to)], now + arrival, key,
+               [this, to, from, p = std::move(pkt)]() mutable {
+                 enqueueCpu(to, from, std::move(p));
+               });
+    return;
+  }
+  sim_.schedule(arrival, [this, to, from, p = std::move(pkt)]() mutable {
+    enqueueCpu(to, from, std::move(p));
+  });
+}
+
+void Network::enableLinkQueues(const LinkQueueConfig& cfg) {
+  assert(cfg.enabled && "pass an enabled LinkQueueConfig (or never call)");
+  queueCfg_ = cfg;
+  faceQueues_.clear();
+  faceQueues_.reserve(topo_.links().size() * 2);
+  for (const Topology::Link& l : topo_.links()) {
+    faceQueues_.emplace_back(l.a, l.b, l.bandwidthBps,
+                             makeQueueDiscipline(cfg, l.a, l.b));
+    faceQueues_.emplace_back(l.b, l.a, l.bandwidthBps,
+                             makeQueueDiscipline(cfg, l.b, l.a));
+  }
+}
+
+FaceQueue& Network::faceQueueRef(NodeId from, NodeId to) {
+  const std::size_t li = topo_.linkIndexBetween(from, to);
+  const Topology::Link& link = topo_.links()[li];
+  return faceQueues_.at(2 * li + (from == link.a ? 0 : 1));
+}
+
+const FaceQueue& Network::faceQueue(NodeId from, NodeId to) const {
+  return const_cast<Network*>(this)->faceQueueRef(from, to);
+}
+
+SimTime Network::maxFaceBacklog(NodeId id, SimTime now) const {
+  if (faceQueues_.empty()) return 0;
+  SimTime worst = 0;
+  for (const auto& [nb, li] : topo_.adjacentLinks(id)) {
+    const Topology::Link& link = topo_.links()[li];
+    const FaceQueue& q = faceQueues_[2 * li + (id == link.a ? 0 : 1)];
+    const SimTime b = q.backlog(now);
+    if (b > worst) worst = b;
+  }
+  return worst;
+}
+
+QueueAggregate Network::queueAggregate() const {
+  QueueAggregate agg;
+  for (const FaceQueue& q : faceQueues_) {
+    const FaceQueueStats& s = q.stats();
+    agg.enqueued += s.enqueued;
+    agg.departed += s.departed;
+    agg.dropped += s.dropped;
+    if (s.peakBytesQueued > agg.peakBytesQueued) agg.peakBytesQueued = s.peakBytesQueued;
+    if (s.peakPacketsQueued > agg.peakPacketsQueued) {
+      agg.peakPacketsQueued = s.peakPacketsQueued;
+    }
+    if (s.maxSojourn > agg.maxSojourn) agg.maxSojourn = s.maxSojourn;
+    agg.sojournSum += s.sojournSum;
+  }
+  return agg;
 }
 
 void Network::enableParallel(ParallelSimulator& psim) {

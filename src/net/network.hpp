@@ -13,6 +13,7 @@
 #include "net/observer.hpp"
 #include "net/packet.hpp"
 #include "net/params.hpp"
+#include "net/queue.hpp"
 #include "net/topology.hpp"
 
 namespace gcopss {
@@ -50,6 +51,12 @@ class Node {
 
   // Time until this node's CPU drains its current queue (0 = idle).
   SimTime cpuBacklog() const;
+
+  // Worst serialization backlog over this node's outgoing face queues
+  // (0 when link queues are disabled). The transmit-side twin of
+  // cpuBacklog(): an RP whose uplink is saturated shows congestion here
+  // even with an idle CPU, so the load balancer consumes the sum of both.
+  SimTime faceQueueBacklog() const;
 
   std::uint64_t dropCount() const { return drops_; }
 
@@ -111,6 +118,24 @@ class Network {
   // Send `pkt` from node `from` to adjacent node `to`.
   void transmit(NodeId from, NodeId to, PacketPtr pkt);
 
+  // Give every directed link a finite-bandwidth transmit queue guarded by
+  // the configured discipline (see net/queue.hpp). Call after the topology
+  // is final (all links added, hosts attached) and before any traffic;
+  // replaces any previous queue set. Default-off: without this call the
+  // legacy transmit path (fixed serialization delay, no occupancy) is
+  // byte-for-byte unchanged.
+  void enableLinkQueues(const LinkQueueConfig& cfg);
+  bool linkQueuesEnabled() const { return !faceQueues_.empty(); }
+  const LinkQueueConfig& linkQueueConfig() const { return queueCfg_; }
+  // The (from -> to) face queue; throws if queues are off or no such link.
+  const FaceQueue& faceQueue(NodeId from, NodeId to) const;
+  // Worst serialization backlog over `id`'s outgoing faces at `now`
+  // (0 with queues off). Shard-safe from `id`'s own lane: a node's
+  // outgoing queues are written only when that node transmits.
+  SimTime maxFaceBacklog(NodeId id, SimTime now) const;
+  // Roll-up over every face queue. Sequential context only.
+  QueueAggregate queueAggregate() const;
+
   // Enqueue a packet into `at`'s CPU queue (used for local origination).
   void enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt);
 
@@ -166,13 +191,14 @@ class Network {
   Bytes totalLinkBytes() const { return sumMeters().bytes; }
   std::uint64_t totalLinkPackets() const { return sumMeters().pkts; }
   std::uint64_t totalDrops() const { return sumMeters().drops; }
+  // Face-queue refusals only (also counted in totalDrops()).
+  std::uint64_t totalQueueDrops() const { return sumMeters().queueDrops; }
   void resetLoadMeter() {
     totalLinkBytes_ = 0;
     totalLinkPackets_ = 0;
-    for (auto& m : shardMeters_) {
-      m.bytes = 0;
-      m.pkts = 0;
-    }
+    totalDrops_ = 0;
+    totalQueueDrops_ = 0;
+    for (auto& m : shardMeters_) m = ShardMeter{};
   }
 
  private:
@@ -184,18 +210,24 @@ class Network {
     Bytes bytes = 0;
     std::uint64_t pkts = 0;
     std::uint64_t drops = 0;
+    std::uint64_t queueDrops = 0;
   };
   ShardMeter sumMeters() const {
-    ShardMeter t{totalLinkBytes_, totalLinkPackets_, totalDrops_};
+    ShardMeter t{totalLinkBytes_, totalLinkPackets_, totalDrops_, totalQueueDrops_};
     for (const auto& m : shardMeters_) {
       t.bytes += m.bytes;
       t.pkts += m.pkts;
       t.drops += m.drops;
+      t.queueDrops += m.queueDrops;
     }
     return t;
   }
   void meterTx(Bytes size);
   void meterDrop();
+  void meterQueueDrop();
+  // The queued-transmit data path (faceQueues_ non-empty).
+  void transmitQueued(NodeId from, NodeId to, PacketPtr pkt);
+  FaceQueue& faceQueueRef(NodeId from, NodeId to);
 
   Simulator& sim_;
   Topology& topo_;
@@ -210,6 +242,12 @@ class Network {
   Bytes totalLinkBytes_ = 0;
   std::uint64_t totalLinkPackets_ = 0;
   std::uint64_t totalDrops_ = 0;
+  std::uint64_t totalQueueDrops_ = 0;
+  // Face queues, 2 per topology link, indexed 2*linkIdx + direction
+  // (0 = link.a -> link.b). Built once by enableLinkQueues; each queue is
+  // then mutated only by the lane owning its sending node.
+  LinkQueueConfig queueCfg_;
+  GCOPSS_SHARD_CONFINED std::vector<FaceQueue> faceQueues_;
 };
 
 }  // namespace gcopss

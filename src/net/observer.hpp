@@ -13,6 +13,7 @@ enum class DropReason : std::uint8_t {
   NodeFailed,    // addressed to a blackholed/crashed node
   BufferFull,    // receiver CPU backlog exceeded dropBacklog
   CrashedQueued, // accepted pre-crash, CPU died with the packet still queued
+  QueueDrop,     // refused by the sender's face queue (DropTail cap / RED)
 };
 
 constexpr const char* dropReasonName(DropReason r) {
@@ -21,6 +22,7 @@ constexpr const char* dropReasonName(DropReason r) {
     case DropReason::NodeFailed: return "node-failed";
     case DropReason::BufferFull: return "buffer-full";
     case DropReason::CrashedQueued: return "crashed-queued";
+    case DropReason::QueueDrop: return "queue-drop";
   }
   return "?";
 }

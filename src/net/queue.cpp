@@ -1,0 +1,17 @@
+#include "net/queue.hpp"
+
+namespace gcopss {
+
+std::unique_ptr<QueueDiscipline> makeQueueDiscipline(const LinkQueueConfig& cfg,
+                                                     NodeId from, NodeId to) {
+  switch (cfg.kind) {
+    case QueueKind::Red:
+      return std::make_unique<RedDiscipline>(cfg,
+                                             faceLaneSeed(cfg.seed, from, to));
+    case QueueKind::DropTail:
+      break;
+  }
+  return std::make_unique<DropTailDiscipline>(cfg.capBytes, cfg.capPackets);
+}
+
+}  // namespace gcopss

@@ -50,6 +50,25 @@ const Topology::Link& Topology::linkBetween(NodeId a, NodeId b) const {
   throw std::out_of_range("no such link");
 }
 
+std::size_t Topology::linkIndexBetween(NodeId a, NodeId b) const {
+  if (a >= 0 && static_cast<std::size_t>(a) < adjLinks_.size()) {
+    for (const auto& [nb, idx] : adjLinks_[static_cast<std::size_t>(a)]) {
+      if (nb == b) return idx;
+    }
+  }
+  throw std::out_of_range("no such link");
+}
+
+void Topology::setLinkBandwidth(NodeId a, NodeId b, double bps) {
+  assert(bps > 0.0);
+  links_[linkIndexBetween(a, b)].bandwidthBps = bps;
+}
+
+void Topology::setAllBandwidths(double bps) {
+  assert(bps > 0.0);
+  for (Link& l : links_) l.bandwidthBps = bps;
+}
+
 const Topology::SpfTree& Topology::spfFrom(NodeId source) const {
   auto it = spf_.find(source);
   if (it != spf_.end()) return it->second;

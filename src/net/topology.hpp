@@ -31,7 +31,14 @@ class Topology {
 
   bool hasLink(NodeId a, NodeId b) const;
   const Link& linkBetween(NodeId a, NodeId b) const;
+  // Index of the (a, b) link into links() — the stable handle face queues
+  // key on. Same adjacency scan as linkBetween; throws if absent.
+  std::size_t linkIndexBetween(NodeId a, NodeId b) const;
   const std::vector<Link>& links() const { return links_; }
+  // Retune link capacity after construction (delay-based routing is
+  // unaffected, so no route invalidation is needed).
+  void setLinkBandwidth(NodeId a, NodeId b, double bps);
+  void setAllBandwidths(double bps);
   // Smallest propagation delay over all links; 0 on an empty graph. This is
   // the upper bound for the parallel engine's conservative lookahead: no
   // packet can cross a shard boundary in less simulated time.
@@ -42,6 +49,11 @@ class Topology {
   }
   const std::vector<NodeId>& neighbors(NodeId n) const {
     return adjacency_.at(static_cast<std::size_t>(n));
+  }
+  // Per-node (neighbor, links() index) pairs — the data-path adjacency view
+  // Network uses to walk a node's outgoing faces without hash probes.
+  const std::vector<std::pair<NodeId, std::size_t>>& adjacentLinks(NodeId n) const {
+    return adjLinks_.at(static_cast<std::size_t>(n));
   }
 
   // Next hop from `from` toward `to` along the min-delay path. Computes and

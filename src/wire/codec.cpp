@@ -175,6 +175,8 @@ void encodeBody(WireWriter& w, const Packet& packet) {
       putNode(w, p.origin);
       putNames(w, p.prefixes);
       putEpochs(w, p.epochs);
+      w.varint(p.ttl);
+      w.u64(p.nonce);
       return;
     }
     case Packet::Kind::RpDemote: {
@@ -182,6 +184,7 @@ void encodeBody(WireWriter& w, const Packet& packet) {
       putNode(w, p.origin);
       putNames(w, p.prefixes);
       putEpochs(w, p.epochs);
+      w.u64(p.nonce);
       return;
     }
     case Packet::Kind::StJoin:
@@ -351,15 +354,21 @@ PacketPtr decodeBody(Tag tag, WireReader& r, std::size_t depth) {
       const NodeId origin = getNode(r);
       auto prefixes = getNames(r);
       auto epochs = getEpochs(r, prefixes.size());
+      const std::uint64_t ttl = r.varint();
+      if (ttl > kMaxReclaimTtl) throw WireError("reclaim ttl exceeds cap");
+      const std::uint64_t nonce = r.u64();
       return makePacket<copss::RpReclaimPacket>(origin, std::move(prefixes),
-                                                std::move(epochs));
+                                                std::move(epochs),
+                                                static_cast<std::uint32_t>(ttl),
+                                                nonce);
     }
     case Tag::RpDemote: {
       const NodeId origin = getNode(r);
       auto prefixes = getNames(r);
       auto epochs = getEpochs(r, prefixes.size());
+      const std::uint64_t nonce = r.u64();
       return makePacket<copss::RpDemotePacket>(origin, std::move(prefixes),
-                                               std::move(epochs));
+                                               std::move(epochs), nonce);
     }
     case Tag::IpUnicast: {
       const NodeId src = getNode(r);

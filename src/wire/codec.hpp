@@ -100,6 +100,9 @@ constexpr std::size_t kMaxComponentBytes = 4096;
 constexpr std::size_t kMaxNamesPerPacket = 65536;
 // UpdateEntry records per UpdateSegment.
 constexpr std::size_t kMaxSegmentEntries = 1 << 16;
+// RpReclaim forwarding budget (hop count). Sane plans use 2-3; anything
+// past this is a malformed or hostile frame.
+constexpr std::size_t kMaxReclaimTtl = 64;
 
 std::vector<std::uint8_t> encode(const Packet& packet);
 

@@ -614,5 +614,84 @@ TEST(Chaos, EpochStateSurvivesRestartWithoutStorageLoss) {
   EXPECT_TRUE(checker.ok()) << checker.reportText();
 }
 
+// ---------------------------------------------------------------------------
+// TTL'd reclaim behind a healed partition. Line 0-1-2-3-4: primary R1,
+// standby R3, and the router BETWEEN them (R2) is down during the standby's
+// epoch-2 takeover flood — when everything heals, the only epoch-2 witnesses
+// (R3, R4) are two hops from the restarted primary. A one-hop reclaim gets
+// silence from R0/R2 and the stale claim stands; the TTL'd probe reaches a
+// witness through R2's relay and converges.
+// ---------------------------------------------------------------------------
+
+// The shared schedule; returns after the run so each test asserts its side.
+void runHealedPartition(LineWorld& w, CountingLog& log,
+                        check::InvariantChecker& checker) {
+  w.singleRootRp(1);
+  log.attach(w);
+
+  FaultPlan plan;
+  plan.crash(w.routerIds[1], ms(200), ms(700));  // primary: long outage
+  plan.crash(w.routerIds[2], ms(205), ms(500));  // middle: misses the takeover
+  w.net->applyFaultPlan(plan);
+
+  w.sim->scheduleAt(0, [&w]() {
+    w.clients[4]->subscribe(Name());
+    w.routers[1]->startRpHeartbeats(w.routerIds[3], ms(10), ms(600));
+    w.routers[3]->watchRpLiveness(w.routerIds[1], ms(25), ms(600));
+  });
+  // Post-convergence delivery through the survivor's tree.
+  w.sim->scheduleAt(ms(800), [&w]() {
+    w.clients[3]->publish(Name::parse("/9/9"), 10, 9);
+  });
+  w.sim->scheduleAt(ms(750), [&checker]() { checker.auditNow(); });
+  w.sim->scheduleAt(ms(900), [&checker]() { checker.auditNow(); });
+  w.sim->run();
+}
+
+TEST(Chaos, TtlReclaimConvergesBehindAHealedPartition) {
+  LineWorld w(5);  // default Options: reclaimTtl = 2
+  auto& checker = w.enableFullAudit();
+  CountingLog log;
+  runHealedPartition(w, log, checker);
+
+  // The probe traveled R1 -> R2 -> R3; the witness demoted the stale claim.
+  EXPECT_GE(w.routers[2]->reclaimForwards(), 1u) << "R2 must relay the probe";
+  EXPECT_TRUE(w.routers[1]->rpPrefixes().empty());
+  EXPECT_EQ(w.routers[1]->demotions(), 1u);
+  EXPECT_TRUE(w.routers[3]->isRpFor(Name::parse("/9/9")));
+  EXPECT_EQ(w.routers[3]->claimEpoch(Name()), 2u);
+  std::size_t liveClaims = 0;
+  for (auto* r : w.routers) liveClaims += r->rpPrefixes().size();
+  EXPECT_EQ(liveClaims, 1u);
+  EXPECT_EQ(log.count(4, 9), 1) << "delivery resumed through the survivor";
+  EXPECT_TRUE(checker.ok()) << checker.reportText();
+}
+
+TEST(Chaos, OneHopReclaimSplitsBrainBehindTheSamePartition) {
+  copss::CopssRouter::Options oneHop;
+  oneHop.reclaimTtl = 0;  // the pre-TTL behaviour, reproduced on demand
+  LineWorld w(5, oneHop);
+  w.expectViolations = true;
+  auto& checker = w.enableFullAudit();
+  CountingLog log;
+  runHealedPartition(w, log, checker);
+
+  // Direct neighbours R0/R2 never saw epoch 2: silence, the stale claim
+  // stands, and the audit flags the duplicate ownership.
+  EXPECT_EQ(w.routers[2]->reclaimForwards(), 0u);
+  EXPECT_TRUE(w.routers[1]->isRpFor(Name::parse("/9/9")));
+  EXPECT_EQ(w.routers[1]->demotions(), 0u);
+  EXPECT_TRUE(w.routers[3]->isRpFor(Name::parse("/9/9")));
+  std::size_t liveClaims = 0;
+  for (auto* r : w.routers) liveClaims += r->rpPrefixes().size();
+  EXPECT_EQ(liveClaims, 2u) << "split brain: both claim the root";
+  EXPECT_FALSE(checker.ok()) << "the audit must catch the duplicate claim";
+  bool duplicateClaim = false;
+  for (const auto& v : checker.violations()) {
+    if (v.invariant == check::Invariant::PrefixFreeRp) duplicateClaim = true;
+  }
+  EXPECT_TRUE(duplicateClaim) << checker.reportText();
+}
+
 }  // namespace
 }  // namespace gcopss::test

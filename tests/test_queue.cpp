@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "des/parallel.hpp"
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+#include "net/queue.hpp"
+#include "world_fixture.hpp"
+
+namespace gcopss::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Discipline units: DropTail caps, RED ramp, per-face seeded lanes.
+// ---------------------------------------------------------------------------
+
+TEST(DropTail, ByteCapRefusesTheOverflowingPacket) {
+  DropTailDiscipline d(/*capBytes=*/1000, /*capPackets=*/100);
+  FaceQueueStats q;
+  q.bytesQueued = 900;
+  q.packetsQueued = 3;
+  EXPECT_TRUE(d.admit(q, 100));   // lands exactly on the cap
+  EXPECT_FALSE(d.admit(q, 101));  // one byte over
+}
+
+TEST(DropTail, PacketCapRefusesIndependentlyOfBytes) {
+  DropTailDiscipline d(/*capBytes=*/1 << 20, /*capPackets=*/4);
+  FaceQueueStats q;
+  q.bytesQueued = 10;
+  q.packetsQueued = 4;
+  EXPECT_FALSE(d.admit(q, 1));
+  q.packetsQueued = 3;
+  EXPECT_TRUE(d.admit(q, 1));
+}
+
+// Drive the EWMA to a fixed occupancy, then measure the refusal rate over a
+// long draw sequence. The seed is fixed, so the whole measurement is exact.
+std::size_t redDropsAtOccupancy(Bytes occupancy, std::uint64_t laneSeed) {
+  LinkQueueConfig cfg = LinkQueueConfig::red(/*capBytes=*/10000);
+  RedDiscipline d(cfg, laneSeed);
+  FaceQueueStats q;
+  q.bytesQueued = occupancy;
+  q.packetsQueued = 1;
+  // Warm the EWMA to within a hair of `occupancy` before counting.
+  for (int i = 0; i < 200; ++i) (void)d.admit(q, 1);
+  std::size_t drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!d.admit(q, 1)) ++drops;
+  }
+  return drops;
+}
+
+TEST(Red, AdmitsEverythingBelowMinFill) {
+  // cap 10000, redMinFill 0.25 -> always admit while the EWMA is under 2500.
+  EXPECT_EQ(redDropsAtOccupancy(2000, 7), 0u);
+}
+
+TEST(Red, DropsEverythingAboveMaxFill) {
+  // redMaxFill 0.75 -> EWMA at 8000 refuses every packet.
+  EXPECT_EQ(redDropsAtOccupancy(8000, 7), 2000u);
+}
+
+TEST(Red, DropProbabilityRampsMonotonicallyUnderAFixedSeed) {
+  std::size_t prev = 0;
+  for (Bytes occ : {3000u, 4500u, 6000u, 7400u}) {
+    const std::size_t drops = redDropsAtOccupancy(occ, 7);
+    EXPECT_GE(drops, prev) << "occupancy " << occ;
+    prev = drops;
+  }
+  EXPECT_GT(prev, 0u) << "the ramp must actually drop inside (min, max)";
+}
+
+TEST(Red, HardCapsStillApplyRegardlessOfTheAverage) {
+  LinkQueueConfig cfg = LinkQueueConfig::red(/*capBytes=*/1000);
+  RedDiscipline d(cfg, 1);
+  FaceQueueStats q;
+  q.bytesQueued = 990;  // EWMA still ~0 on the first call: RED would admit
+  q.packetsQueued = 1;
+  EXPECT_FALSE(d.admit(q, 100)) << "physical byte cap overrides the EWMA";
+}
+
+TEST(FaceLaneSeed, IsDirectionSensitive) {
+  EXPECT_NE(faceLaneSeed(1, 3, 4), faceLaneSeed(1, 4, 3));
+  EXPECT_NE(faceLaneSeed(1, 3, 4), faceLaneSeed(2, 3, 4));
+}
+
+// ---------------------------------------------------------------------------
+// FaceQueue mechanics: lazy serialization, occupancy, sojourn accounting.
+// ---------------------------------------------------------------------------
+
+FaceQueue makeQueue(double bps, Bytes capBytes = 1 << 20,
+                    std::size_t capPackets = 1024) {
+  return FaceQueue(0, 1, bps,
+                   std::make_unique<DropTailDiscipline>(capBytes, capPackets));
+}
+
+TEST(FaceQueue, BackToBackAdmitsSerializeInOrder) {
+  // 1 Mbps, 1000-byte packets: 8 ms on the wire each.
+  FaceQueue q = makeQueue(1e6);
+  const auto a = q.admit(0, 1000);
+  const auto b = q.admit(0, 1000);
+  const auto c = q.admit(0, 1000);
+  ASSERT_TRUE(a.admitted && b.admitted && c.admitted);
+  EXPECT_EQ(a.txDone, ms(8));
+  EXPECT_EQ(b.txDone, ms(16));
+  EXPECT_EQ(c.txDone, ms(24));
+  EXPECT_EQ(q.backlog(0), ms(24));
+  EXPECT_EQ(q.stats().bytesQueued, 3000u);
+  EXPECT_EQ(q.stats().packetsQueued, 3u);
+  EXPECT_EQ(q.stats().peakBytesQueued, 3000u);
+  // Sojourn = admit -> last bit out: 8, 16, 24 ms.
+  EXPECT_EQ(q.stats().maxSojourn, ms(24));
+  EXPECT_EQ(q.stats().sojournSum, ms(48));
+
+  q.depart(1000);
+  EXPECT_EQ(q.stats().bytesQueued, 2000u);
+  EXPECT_EQ(q.stats().departed, 1u);
+  EXPECT_EQ(q.stats().peakBytesQueued, 3000u) << "peak is a high-water mark";
+}
+
+TEST(FaceQueue, IdleFaceRestartsFromNow) {
+  FaceQueue q = makeQueue(1e6);
+  (void)q.admit(0, 1000);
+  q.depart(1000);
+  EXPECT_EQ(q.backlog(ms(50)), 0) << "idle after the only packet departed";
+  const auto a = q.admit(ms(50), 1000);
+  EXPECT_EQ(a.txDone, ms(58)) << "serialization restarts at `now`, not freeAt";
+}
+
+TEST(FaceQueue, RefusalCountsADropAndLeavesOccupancyAlone) {
+  FaceQueue q = makeQueue(1e6, /*capBytes=*/1500);
+  ASSERT_TRUE(q.admit(0, 1000).admitted);
+  const auto refused = q.admit(0, 1000);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().bytesQueued, 1000u);
+  EXPECT_EQ(q.stats().enqueued, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Network integration (serial engine).
+// ---------------------------------------------------------------------------
+
+// Minimal endpoint: records arrival times, can emit fixed-size packets.
+class SinkNode : public Node {
+ public:
+  SinkNode(NodeId id, Network& net, SimTime service)
+      : Node(id, net), service_(service) {}
+  void handle(NodeId from, const PacketPtr&) override {
+    arrivals.push_back({from, sim().now()});
+  }
+  SimTime serviceTime(const PacketPtr&) const override { return service_; }
+  void emit(NodeId to, Bytes size) {
+    send(to, makePacket<Packet>(Packet::Kind::IpUnicast, size));
+  }
+  SimTime queueBacklog() { return faceQueueBacklog(); }
+
+  std::vector<std::pair<NodeId, SimTime>> arrivals;
+
+ private:
+  SimTime service_;
+};
+
+struct TwoNodes {
+  Simulator sim;
+  Topology topo;
+  NodeId a, b;
+  std::unique_ptr<Network> net;
+  SinkNode* na = nullptr;
+  SinkNode* nb = nullptr;
+
+  explicit TwoNodes(double bw = 1e6) {
+    a = topo.addNode("a");
+    b = topo.addNode("b");
+    topo.addLink(a, b, ms(10), bw);
+    net = std::make_unique<Network>(sim, topo);
+    na = &net->emplaceNode<SinkNode>(a, *net, ms(1));
+    nb = &net->emplaceNode<SinkNode>(b, *net, ms(1));
+  }
+};
+
+TEST(NetworkQueues, UncontendedTimingMatchesTheLegacyPath) {
+  // One packet at a time: the queued path must reproduce the legacy
+  // propagation + transmission + service latency exactly.
+  TwoNodes legacy(1e6);
+  legacy.sim.scheduleAt(0, [&]() { legacy.na->emit(legacy.b, 1000); });
+  legacy.sim.run();
+
+  TwoNodes queued(1e6);
+  queued.net->enableLinkQueues(LinkQueueConfig::dropTail(1 << 20));
+  queued.sim.scheduleAt(0, [&]() { queued.na->emit(queued.b, 1000); });
+  queued.sim.run();
+
+  ASSERT_EQ(legacy.nb->arrivals.size(), 1u);
+  ASSERT_EQ(queued.nb->arrivals.size(), 1u);
+  EXPECT_EQ(queued.nb->arrivals[0].second, legacy.nb->arrivals[0].second);
+  EXPECT_EQ(queued.nb->arrivals[0].second, ms(10) + ms(8) + ms(1));
+}
+
+TEST(NetworkQueues, SaturationSerializesThenDrops) {
+  // 1 Mbps face, byte cap = 3 packets. A burst of 10 x 1000B: every admitted
+  // packet serializes back-to-back; the overflow is dropped and accounted.
+  TwoNodes w(1e6);
+  w.net->enableLinkQueues(LinkQueueConfig::dropTail(/*capBytes=*/3000));
+  w.sim.scheduleAt(0, [&]() {
+    for (int i = 0; i < 10; ++i) w.na->emit(w.b, 1000);
+  });
+  // While the burst drains, the sender's worst face backlog is visible.
+  w.sim.scheduleAt(ms(1), [&]() { EXPECT_GT(w.na->queueBacklog(), ms(10)); });
+  w.sim.run();
+
+  EXPECT_EQ(w.nb->arrivals.size(), 3u);
+  EXPECT_EQ(w.net->totalQueueDrops(), 7u);
+  EXPECT_EQ(w.net->totalDrops(), 7u) << "queue drops roll into the drop meter";
+  // Successive arrivals are spaced by exactly one serialization time.
+  EXPECT_EQ(w.nb->arrivals[1].second - w.nb->arrivals[0].second, ms(8));
+  EXPECT_EQ(w.nb->arrivals[2].second - w.nb->arrivals[1].second, ms(8));
+
+  const FaceQueueStats& s = w.net->faceQueue(w.a, w.b).stats();
+  EXPECT_EQ(s.enqueued, 3u);
+  EXPECT_EQ(s.departed, 3u);
+  EXPECT_EQ(s.dropped, 7u);
+  EXPECT_EQ(s.bytesQueued, 0u) << "fully drained";
+  const QueueAggregate agg = w.net->queueAggregate();
+  EXPECT_EQ(agg.dropped, 7u);
+  EXPECT_GT(agg.maxSojournMs(), 0.0);
+}
+
+// Satellite bugfix pin: resetLoadMeter() must clear the drop counters too,
+// not just bytes/packets — a warmup that saturates a queue must not bleed
+// drops into the measured window.
+TEST(NetworkQueues, ResetLoadMeterClearsDropCounters) {
+  TwoNodes w(1e6);
+  w.net->enableLinkQueues(LinkQueueConfig::dropTail(/*capBytes=*/1000));
+  w.sim.scheduleAt(0, [&]() {
+    for (int i = 0; i < 5; ++i) w.na->emit(w.b, 1000);
+  });
+  w.sim.run();
+  ASSERT_GT(w.net->totalDrops(), 0u);
+  ASSERT_GT(w.net->totalQueueDrops(), 0u);
+  ASSERT_GT(w.net->totalLinkBytes(), 0u);
+
+  w.net->resetLoadMeter();
+  EXPECT_EQ(w.net->totalDrops(), 0u);
+  EXPECT_EQ(w.net->totalQueueDrops(), 0u);
+  EXPECT_EQ(w.net->totalLinkBytes(), 0u);
+  EXPECT_EQ(w.net->totalLinkPackets(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation: the invariant ledger must account every queue drop, so a
+// saturated world still audits clean (LineWorld runs the conservation
+// checker at teardown).
+// ---------------------------------------------------------------------------
+
+TEST(NetworkQueues, ConservationLedgerAccountsQueueDrops) {
+  LineWorld w(3);
+  w.topo->setAllBandwidths(2e5);  // 200 kbps everywhere: ~40 ms per kB
+  w.net->enableLinkQueues(LinkQueueConfig::dropTail(/*capBytes=*/4096));
+  w.sim->scheduleAt(0, [&]() { w.clients[0]->subscribe(Name()); });
+  for (int i = 1; i <= 40; ++i) {
+    w.sim->scheduleAt(ms(10) * i, [&w, i]() {
+      w.clients[2]->publish(Name::parse("/1/1"), 1000,
+                            static_cast<std::uint64_t>(i));
+    });
+  }
+  w.sim->run();
+  EXPECT_GT(w.net->totalQueueDrops(), 0u) << "the run must actually saturate";
+  // Teardown runs the conservation audit; a QueueDrop that was not folded
+  // into the ledger would fail the test here.
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a saturated, RED-guarded world produces bit-identical
+// per-client delivery folds on the serial engine and at 1/2/4 threads.
+// ---------------------------------------------------------------------------
+
+struct SatDigest {
+  std::vector<std::uint64_t> perClient;
+  std::uint64_t queueDrops = 0;
+  std::uint64_t linkPackets = 0;
+  bool operator==(const SatDigest& o) const {
+    return perClient == o.perClient && queueDrops == o.queueDrops &&
+           linkPackets == o.linkPackets;
+  }
+};
+
+SatDigest runSaturated(std::size_t threads) {
+  LineWorld w(6, {}, SimParams::largeScale(), /*ring=*/true);
+  w.singleRootRp(2);
+  w.topo->setAllBandwidths(4e5);  // 400 kbps: the RP's egress faces back up
+  LinkQueueConfig qc = LinkQueueConfig::red(/*capBytes=*/6000, /*seed=*/99);
+  w.net->enableLinkQueues(qc);
+
+  std::unique_ptr<ParallelSimulator> psim;
+  if (threads > 0) {
+    w.checker.reset();  // observers are serial-only
+    ParallelSimulator::Options po;
+    po.workers = threads;
+    po.lookahead = w.topo->minLinkDelay();
+    psim = std::make_unique<ParallelSimulator>(*w.sim, po);
+    w.net->enableParallel(*psim);
+  }
+
+  SatDigest d;
+  d.perClient.assign(w.clients.size(), 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < w.clients.size(); ++i) {
+    std::uint64_t* h = &d.perClient[i];
+    w.clients[i]->setMulticastCallback(
+        [h](const copss::MulticastPacket& m, SimTime now) {
+          *h = mix64(*h ^ m.seq);
+          *h = mix64(*h ^ static_cast<std::uint64_t>(now));
+        });
+  }
+  w.sim->scheduleAt(0, [&w]() {
+    w.clients[0]->subscribe(Name());
+    w.clients[5]->subscribe(Name::parse("/1"));
+  });
+  for (std::uint64_t s = 1; s <= 80; ++s) {
+    const SimTime at = ms(10) + ms(2) * static_cast<SimTime>(s - 1);
+    if (psim) {
+      w.net->nodeSim(w.clientIds[1]).scheduleAt(at, [&w, s]() {
+        w.clients[1]->publish(Name::parse("/1/1"), 800, s);
+      });
+    } else {
+      w.sim->scheduleAt(at, [&w, s]() {
+        w.clients[1]->publish(Name::parse("/1/1"), 800, s);
+      });
+    }
+  }
+  if (psim) {
+    psim->run();
+  } else {
+    w.sim->run();
+  }
+  d.queueDrops = w.net->totalQueueDrops();
+  d.linkPackets = w.net->totalLinkPackets();
+  return d;
+}
+
+TEST(QueueDeterminism, SaturatedRedRunIdenticalAcrossThreadCounts) {
+  const SatDigest serial = runSaturated(0);
+  EXPECT_GT(serial.queueDrops, 0u) << "the workload must actually overflow";
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const SatDigest par = runSaturated(threads);
+    EXPECT_EQ(par, serial) << "threads=" << threads
+                           << ": saturated runs must fold bit-identically";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RP load balancing off face-queue backlog (Section IV-B): a split fires
+// when the RP's uplink is saturated even though its CPU is idle — and does
+// not fire on the identical workload with queues disabled.
+// ---------------------------------------------------------------------------
+
+std::uint64_t splitsWithQueues(bool enableQueues) {
+  copss::CopssRouter::Options opts;
+  opts.autoBalance = true;
+  opts.balance.backlogThreshold = ms(20);
+  opts.balance.windowSize = 64;
+  opts.balance.minDistinctCds = 2;
+  // Near-free CPU: any split decision must come from the link, not the CPU.
+  SimParams cheap;
+  cheap.rpProcessCost = us(1);
+  cheap.copssForwardCost = us(1);
+  LineWorld w(3, opts, cheap);
+  w.singleRootRp(1);
+  if (enableQueues) {
+    // Only the RP's router-to-router egress links are slow (100 kbps).
+    w.topo->setLinkBandwidth(w.routerIds[1], w.routerIds[0], 1e5);
+    w.topo->setLinkBandwidth(w.routerIds[1], w.routerIds[2], 1e5);
+    w.net->enableLinkQueues(LinkQueueConfig::dropTail(/*capBytes=*/1 << 20));
+  }
+  w.sim->scheduleAt(0, [&w]() {
+    w.clients[0]->subscribe(Name());
+    w.clients[2]->subscribe(Name());
+  });
+  for (int i = 1; i <= 30; ++i) {
+    w.sim->scheduleAt(ms(2) * i, [&w, i]() {
+      const char* cd = (i % 2 == 0) ? "/a/1" : "/b/1";
+      w.clients[1]->publish(Name::parse(cd), 1000,
+                            static_cast<std::uint64_t>(i));
+    });
+  }
+  w.sim->run();
+  return w.routers[1]->splitsInitiated();
+}
+
+TEST(QueueBalancer, SplitFiresFromFaceQueueBacklogWithAnIdleCpu) {
+  EXPECT_GE(splitsWithQueues(true), 1u)
+      << "saturated egress faces must trip the balancer";
+}
+
+TEST(QueueBalancer, NoSplitOnTheSameWorkloadWithoutLinkQueues) {
+  EXPECT_EQ(splitsWithQueues(false), 0u)
+      << "with infinite links and a near-free CPU nothing is congested";
+}
+
+}  // namespace
+}  // namespace gcopss::test
