@@ -12,14 +12,74 @@
 // 120k-update slice with identical statistics (pass the full count as argv
 // to reproduce 1:1 — latencies are load-driven and do not depend on length,
 // network load scales linearly).
+//
+// Every number is deterministic simulated time, so the committed
+// BENCH_hybrid.json "quick_reference" must be reproduced exactly by a fresh
+// --quick run (scripts/bench_check.py --hybrid-fresh) — any drift is a
+// behaviour change in the hybrid data plane, not noise.
+//
+// Usage: bench_table2_hybrid [updates] [--quick] [--out PATH]
+//   --quick  CI-sized run (30k-update slice); "mode": "quick"
+//   --out    write a machine-readable JSON report
+
+#include <cstring>
 
 #include "bench_common.hpp"
 
 using namespace gcopss;
 using namespace gcopss::gc;
 
+namespace {
+
+struct Row {
+  const char* type;
+  RunSummary r;
+};
+
+void writeRowJson(std::FILE* f, const Row& row, double scale, bool last) {
+  std::fprintf(f,
+               "    {\n"
+               "      \"type\": \"%s\",\n"
+               "      \"mean_ms\": %.6f,\n"
+               "      \"p95_ms\": %.6f,\n"
+               "      \"network_gb\": %.6f,\n"
+               "      \"full_trace_gb\": %.6f,\n"
+               "      \"deliveries\": %llu,\n"
+               "      \"events_executed\": %llu,\n"
+               "      \"bloom_false_positives\": %llu,\n"
+               "      \"unwanted_at_edges\": %llu,\n"
+               "      \"filtered_at_hosts\": %llu\n"
+               "    }%s\n",
+               row.type, row.r.meanMs, row.r.p95Ms, row.r.networkGB,
+               row.r.networkGB * scale,
+               static_cast<unsigned long long>(row.r.deliveries),
+               static_cast<unsigned long long>(row.r.eventsExecuted),
+               static_cast<unsigned long long>(row.r.bloomFalsePositives),
+               static_cast<unsigned long long>(row.r.unwantedAtEdges),
+               static_cast<unsigned long long>(row.r.filteredAtHosts),
+               last ? "" : ",");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::size_t updates = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120000;
+  bool quick = false;
+  std::string outPath;
+  std::size_t updates = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (argv[i][0] != '-') {
+      updates = std::strtoull(argv[i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [updates] [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (updates == 0) updates = quick ? 30000 : 120000;
+
   bench::printHeader("Table II — IP server (6) vs G-COPSS (6 RPs) vs hybrid (6 groups)",
                      "Section V-B Table II");
 
@@ -34,6 +94,7 @@ int main(int argc, char** argv) {
   std::printf("\n%-16s %16s %14s %20s\n", "Type", "UpdateLat(ms)", "NetLoad(GB)",
               "NetLoad full trace(GB)");
 
+  std::vector<Row> rows;
   {
     IpServerRunConfig cfg;
     cfg.numServers = 6;
@@ -41,6 +102,7 @@ int main(int argc, char** argv) {
     std::printf("%-16s %16.2f %14.2f %20.2f\n", "IP Server", r.meanMs, r.networkGB,
                 r.networkGB * scale);
     std::fflush(stdout);
+    rows.push_back({"ipserver", r});
   }
   {
     GCopssRunConfig cfg;
@@ -49,6 +111,7 @@ int main(int argc, char** argv) {
     std::printf("%-16s %16.2f %14.2f %20.2f\n", "G-COPSS", r.meanMs, r.networkGB,
                 r.networkGB * scale);
     std::fflush(stdout);
+    rows.push_back({"gcopss", r});
   }
   {
     GCopssRunConfig cfg;
@@ -60,6 +123,29 @@ int main(int argc, char** argv) {
     std::printf("  (aliasing waste: %llu packets dropped at edges, %llu filtered at hosts)\n",
                 static_cast<unsigned long long>(r.unwantedAtEdges),
                 static_cast<unsigned long long>(r.filteredAtHosts));
+    rows.push_back({"hybrid", r});
+  }
+
+  if (!outPath.empty()) {
+    std::FILE* f = std::fopen(outPath.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"table2_hybrid\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"updates\": %zu,\n"
+                 "  \"trace_scale\": %.6f,\n"
+                 "  \"rows\": [\n",
+                 quick ? "quick" : "full", trace.records.size(), scale);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      writeRowJson(f, rows[i], scale, i + 1 == rows.size());
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("(JSON written to %s)\n", outPath.c_str());
   }
   return 0;
 }

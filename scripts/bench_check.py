@@ -26,6 +26,15 @@ point the saturated IP uplink must cost at least 2x the G-COPSS latency and
 must have dropped packets, while the auto-balancing run must have split the
 root RP from measured face-queue backlog at least once.
 
+With --hybrid-fresh it gates the hybrid COPSS+IP path (BENCH_hybrid schema,
+Table II). Like the congestion gate, every number is deterministic simulated
+time, so a fresh --quick run must reproduce the committed "quick_reference"
+rows exactly. The paper's qualitative Table II shape is asserted on top:
+hybrid must beat pure G-COPSS on update latency (IP-speed core), pure
+G-COPSS must carry the least network load, the IP server the most, and the
+hybrid run must actually exhibit aliasing waste (unwanted packets dropped at
+edges) — otherwise the group aliasing under test is not doing anything.
+
 Usage:
   scripts/bench_check.py --fresh BENCH_core_quick.json [--baseline BENCH_core.json]
                          [--threshold 0.20]
@@ -33,6 +42,8 @@ Usage:
                          [--min-speedup 1.3]
                          [--congestion-fresh BENCH_congestion_quick.json]
                          [--congestion-baseline BENCH_congestion.json]
+                         [--hybrid-fresh BENCH_hybrid_quick.json]
+                         [--hybrid-baseline BENCH_hybrid.json]
 
 Exit status: 0 ok, 1 regression/violation, 2 bad input.
 """
@@ -160,6 +171,50 @@ def check_congestion(fresh, base):
     return failures
 
 
+def check_hybrid(fresh, base):
+    """Gate a BENCH_hybrid (Table II) run: exact reproduction of the
+    committed quick_reference (deterministic sim time), plus the paper's
+    qualitative latency/load ordering across the three stacks."""
+    failures = []
+
+    if fresh.get("mode") != "quick":
+        failures.append(f"hybrid: fresh run has mode={fresh.get('mode')!r}, "
+                        "expected a --quick run")
+        return failures
+
+    for key in ("updates", "rows"):
+        if fresh.get(key) != base.get(key):
+            failures.append(
+                f"hybrid: fresh {key!r} differs from the committed "
+                f"quick_reference — the deterministic hybrid data plane drifted")
+
+    rows = {r["type"]: r for r in fresh.get("rows", [])}
+    missing = {"ipserver", "gcopss", "hybrid"} - rows.keys()
+    if missing:
+        failures.append(f"hybrid: report missing rows: {sorted(missing)}")
+        return failures
+    ip, gc, hy = rows["ipserver"], rows["gcopss"], rows["hybrid"]
+
+    print(f"hybrid: latency ms — ip {ip['mean_ms']:.2f}, gcopss {gc['mean_ms']:.2f}, "
+          f"hybrid {hy['mean_ms']:.2f}; load GB — ip {ip['network_gb']:.3f}, "
+          f"gcopss {gc['network_gb']:.3f}, hybrid {hy['network_gb']:.3f}; "
+          f"aliasing waste {hy['unwanted_at_edges']:,} at edges")
+    if hy["mean_ms"] >= gc["mean_ms"]:
+        failures.append(
+            f"hybrid: IP-speed core no longer wins on latency "
+            f"({hy['mean_ms']:.2f} ms vs G-COPSS {gc['mean_ms']:.2f} ms)")
+    if not (gc["network_gb"] <= hy["network_gb"] <= ip["network_gb"]):
+        failures.append(
+            "hybrid: Table II load ordering broken (want gcopss <= hybrid <= "
+            f"ipserver, got {gc['network_gb']:.3f} / {hy['network_gb']:.3f} / "
+            f"{ip['network_gb']:.3f} GB)")
+    if hy["unwanted_at_edges"] <= 0:
+        failures.append("hybrid: no aliasing waste at edges — group aliasing "
+                        "is not exercising the edge filters")
+
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True, help="JSON from a fresh bench_core --quick run")
@@ -176,6 +231,10 @@ def main():
                     help="JSON from a fresh bench_congestion --quick run (optional)")
     ap.add_argument("--congestion-baseline", default="BENCH_congestion.json",
                     help="committed congestion baseline (default: BENCH_congestion.json)")
+    ap.add_argument("--hybrid-fresh", default=None,
+                    help="JSON from a fresh bench_table2_hybrid --quick run (optional)")
+    ap.add_argument("--hybrid-baseline", default="BENCH_hybrid.json",
+                    help="committed hybrid baseline (default: BENCH_hybrid.json)")
     args = ap.parse_args()
 
     try:
@@ -222,6 +281,22 @@ def main():
                   file=sys.stderr)
             return 2
         failures += check_congestion(congestion, cref)
+
+    if args.hybrid_fresh:
+        try:
+            with open(args.hybrid_fresh) as f:
+                hybrid = json.load(f)
+            with open(args.hybrid_baseline) as f:
+                hybrid_base = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_check: cannot read hybrid input: {e}", file=sys.stderr)
+            return 2
+        href = hybrid_base.get("quick_reference")
+        if href is None:
+            print("bench_check: hybrid baseline has no 'quick_reference' section",
+                  file=sys.stderr)
+            return 2
+        failures += check_hybrid(hybrid, href)
 
     if failures:
         print("\nFAIL:")

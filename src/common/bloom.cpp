@@ -6,9 +6,8 @@
 namespace gcopss {
 
 CountingBloomFilter::CountingBloomFilter(std::size_t bits, unsigned k)
-    : counters_(bits, 0), k_(k) {
+    : counters_(bits, 0), k_(k), schedule_(bits, k) {
   assert(bits > 0 && k > 0);
-  if ((bits & (bits - 1)) == 0) mask_ = bits - 1;
 }
 
 void CountingBloomFilter::clear() {

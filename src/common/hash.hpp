@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -24,6 +25,16 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+// Order-sensitive fold of a hash sequence into one 64-bit key. Packets fold
+// their prefix-hash vectors once at creation ("hash at first hop" extended
+// to the whole match) and the Subscription Table's per-tick match cache is
+// addressed by the folded key at every hop.
+inline std::uint64_t foldHashes(const std::uint64_t* hashes, std::size_t n) {
+  std::uint64_t key = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) key = mix64(key ^ hashes[i]);
+  return key;
 }
 
 }  // namespace gcopss

@@ -33,6 +33,9 @@ inline std::size_t seqInitialCapacity(std::size_t window) {
   const std::size_t cap = seqSlotCapacity(window);
   return cap < 256 ? cap : 256;
 }
+inline std::size_t seqInitialRing(std::size_t window) {
+  return window < 256 ? window : 256;
+}
 }  // namespace detail
 
 // Membership-only window: "have I delivered this seq recently?"
@@ -44,13 +47,18 @@ class SeqWindow {
   // the oldest entry once the window is full).
   bool checkAndInsert(std::uint64_t key) {
     if (slots_.empty()) {
-      ring_.assign(window_, 0);
+      ring_.assign(detail::seqInitialRing(window_), 0);
       slots_.assign(detail::seqInitialCapacity(window_), 0);
       mask_ = slots_.size() - 1;
     }
     for (std::size_t i = slotFor(key); slots_[i] != 0; i = (i + 1) & mask_) {
       if (slots_[i] == key) return true;
     }
+    // The ring also grows geometrically toward the window: overwriting a
+    // live slot while below capacity means "make room", not "evict" —
+    // eviction starts exactly once `window_` distinct keys are live, same
+    // as the old eagerly-sized ring.
+    if (ring_[pos_] != 0 && ring_.size() < window_) growRing();
     const std::uint64_t evicted = ring_[pos_];
     if (evicted != 0) {
       erase(evicted);
@@ -87,6 +95,17 @@ class SeqWindow {
     for (std::uint64_t k : old) {
       if (k != 0) slots_[freeSlotFor(k)] = k;
     }
+  }
+
+  void growRing() {
+    // Called with the ring full (`pos_` is the oldest entry): unroll
+    // oldest..newest to the front of a larger ring so `pos_` lands on
+    // fresh empty space.
+    const std::size_t n = ring_.size();
+    std::vector<std::uint64_t> bigger(std::min(n * 2, window_), 0);
+    for (std::size_t i = 0; i < n; ++i) bigger[i] = ring_[(pos_ + i) % n];
+    ring_ = std::move(bigger);
+    pos_ = n;
   }
 
   void erase(std::uint64_t key) {
@@ -130,7 +149,7 @@ class SeqWindowMap {
   // sight within the window. The reference is valid until the next at().
   V& at(std::uint64_t key) {
     if (keys_.empty()) {
-      ring_.assign(window_, 0);
+      ring_.assign(detail::seqInitialRing(window_), 0);
       keys_.assign(detail::seqInitialCapacity(window_), 0);
       idx_.assign(keys_.size(), 0);
       mask_ = keys_.size() - 1;
@@ -138,6 +157,7 @@ class SeqWindowMap {
     for (std::size_t i = slotFor(key); keys_[i] != 0; i = (i + 1) & mask_) {
       if (keys_[i] == key) return vals_[idx_[i]];
     }
+    if (ring_[pos_] != 0 && ring_.size() < window_) growRing();
     const std::uint64_t evicted = ring_[pos_];
     if (evicted != 0) {
       erase(evicted);
@@ -185,6 +205,26 @@ class SeqWindowMap {
       keys_[s] = oldKeys[i];
       idx_[s] = oldIdx[i];
     }
+  }
+
+  void growRing() {
+    // Ring full (`pos_` = oldest). Unroll oldest..newest to the front of a
+    // larger ring, carrying values along and rebasing every slot's ring
+    // index by the same rotation. Values keep their capacity (moved).
+    const std::size_t n = ring_.size();
+    std::vector<std::uint64_t> ring(std::min(n * 2, window_), 0);
+    std::vector<V> vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t from = (pos_ + i) % n;
+      ring[i] = ring_[from];
+      if (from < vals_.size()) vals[i] = std::move(vals_[from]);
+    }
+    ring_ = std::move(ring);
+    vals_ = std::move(vals);
+    for (std::size_t s = 0; s < keys_.size(); ++s) {
+      if (keys_[s] != 0) idx_[s] = static_cast<std::uint32_t>((idx_[s] + n - pos_) % n);
+    }
+    pos_ = n;
   }
 
   void erase(std::uint64_t key) {

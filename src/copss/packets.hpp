@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/name.hpp"
 #include "common/name_table.hpp"
 #include "net/packet.hpp"
@@ -75,11 +76,15 @@ struct MulticastPacket : Packet {
         prefixHashes[base + len] = names.hash(cur);
       }
     }
+    matchKey = foldHashes(prefixHashes.data(), prefixHashes.size());
   }
 
   std::vector<Name> cds;
   std::vector<std::uint64_t> cdHashes;        // full-CD hashes
   std::vector<std::uint64_t> prefixHashes;    // every prefix level of every CD
+  // Folded prefixHashes, the hash-at-first-hop idea extended to the whole
+  // match: every hop addresses its ST match cache with this one key.
+  std::uint64_t matchKey = 0;
   Bytes payloadSize;
   SimTime publishedAt;   // for end-to-end latency metrics
   std::uint64_t seq;     // globally unique publication id (metrics/dedup)

@@ -220,7 +220,11 @@ std::vector<NodeId>& CopssRouter::sentRecord(std::uint64_t seq) {
 GCOPSS_HOT void CopssRouter::stForward(NodeId excludeFace, const PacketPtr& multicast) {
   const auto& mcast = packet_cast<MulticastPacket>(multicast);
   std::vector<NodeId> faces = std::move(matchScratch_);
-  st_.matchFacesHashedInto(mcast.cds, mcast.prefixHashes, excludeFace, faces);
+  // Batch point of the publish fan-out (DESIGN.md §4e): the packet carries
+  // its folded prefix-hash key, so publications sharing a CD set within a
+  // tick replay this hop's whole match from the ST's cache; misses run the
+  // word-parallel bit-plane sweep (scalar probes when batchedMatch is off).
+  st_.matchFacesHashedInto(mcast.cds, mcast.prefixHashes, mcast.matchKey, excludeFace, faces);
   auto& sent = sentRecord(mcast.seq);
   // Transient overlapping trees (during migration, or coarse subscriptions
   // spanning multiple RPs) can deliver a seq here more than once; each face

@@ -6,13 +6,113 @@
 
 namespace gcopss::copss {
 
+SubscriptionTable::SubscriptionTable(Options opts)
+    : opts_(opts), probes_(opts.bloomBits, opts.bloomHashes) {
+  if (batchedActive() && opts_.matchCacheSlots > 0) {
+    std::size_t n = 1;
+    while (n < opts_.matchCacheSlots) n <<= 1;
+    cache_.resize(n);
+  }
+}
+
+// --- batched index maintenance -------------------------------------------
+// All of this runs on the control plane (subscribe/unsubscribe/prune), never
+// per packet; the cold markers double as gcopss-tidy hot-alloc barriers.
+
+GCOPSS_COLD void SubscriptionTable::attachSlot(NodeId face, FaceEntry& e) {
+  (void)face;
+  if (!freeSlots_.empty()) {
+    e.slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    slotEntry_[e.slot] = &e;  // column bits were scrubbed by releaseSlot
+    return;
+  }
+  e.slot = static_cast<std::uint32_t>(slotEntry_.size());
+  slotEntry_.push_back(&e);
+  if (slotEntry_.size() > planeWords_ * 64) rebuildPlanes();
+}
+
+GCOPSS_COLD void SubscriptionTable::rebuildPlanes() {
+  planeWords_ = (slotEntry_.size() + 63) / 64;
+  if (planeWords_ == 0) planeWords_ = 1;
+  planes_.assign(opts_.bloomBits * planeWords_, 0);
+  prunedMask_.assign(planeWords_, 0);
+  sweepHit_.assign(planeWords_, 0);
+  sweepMatched_.assign(planeWords_, 0);
+  for (std::uint32_t s = 0; s < slotEntry_.size(); ++s) {
+    const FaceEntry* e = slotEntry_[s];
+    if (e == nullptr) continue;
+    const std::uint64_t bit = 1ull << (s % 64);
+    const std::size_t w = s / 64;
+    for (std::size_t idx = 0; idx < opts_.bloomBits; ++idx) {
+      if (e->bloom.counterAt(idx) != 0) planes_[idx * planeWords_ + w] |= bit;
+    }
+    if (!e->pruned.empty()) prunedMask_[w] |= bit;
+  }
+}
+
+GCOPSS_COLD void SubscriptionTable::releaseSlot(FaceEntry& e) {
+  if (e.slot == kNoSlot) return;
+  const std::uint64_t bit = 1ull << (e.slot % 64);
+  const std::size_t w = e.slot / 64;
+  for (std::size_t idx = 0; idx < opts_.bloomBits; ++idx) {
+    planes_[idx * planeWords_ + w] &= ~bit;
+  }
+  if (prunedMask_[w] & bit) {
+    prunedMask_[w] &= ~bit;
+    --prunedFaces_;
+  }
+  slotEntry_[e.slot] = nullptr;
+  freeSlots_.push_back(e.slot);
+  e.slot = kNoSlot;
+}
+
+void SubscriptionTable::syncPlanes(const FaceEntry& e, std::uint64_t nameHash) {
+  if (e.slot == kNoSlot) return;
+  const std::uint64_t bit = 1ull << (e.slot % 64);
+  const std::size_t w = e.slot / 64;
+  // Re-derive each touched bit from the counter rather than mirroring the
+  // operation: add() saturates and remove() guards/never-decrements-0xff, so
+  // "counter non-zero" is the only transition rule that is always right.
+  e.bloom.forEachProbe(nameHash, [&](std::size_t idx) {
+    std::uint64_t& word = planes_[idx * planeWords_ + w];
+    if (e.bloom.counterAt(idx) != 0) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
+  });
+}
+
+void SubscriptionTable::updatePrunedBit(const FaceEntry& e) {
+  if (e.slot == kNoSlot) return;
+  const std::uint64_t bit = 1ull << (e.slot % 64);
+  const std::size_t w = e.slot / 64;
+  const bool now = !e.pruned.empty();
+  const bool was = (prunedMask_[w] & bit) != 0;
+  if (now == was) return;
+  if (now) {
+    prunedMask_[w] |= bit;
+    ++prunedFaces_;
+  } else {
+    prunedMask_[w] &= ~bit;
+    --prunedFaces_;
+  }
+}
+
+// --- subscription state ---------------------------------------------------
+
 bool SubscriptionTable::subscribe(NodeId face, const Name& cd) {
   auto it = table_.find(face);
   if (it == table_.end()) {
     it = table_.emplace(face, FaceEntry(opts_.bloomBits, opts_.bloomHashes)).first;
+    if (batchedActive()) attachSlot(face, it->second);
   }
   FaceEntry& e = it->second;
-  if (++e.exact[cd] == 1) e.bloom.add(cd);
+  if (++e.exact[cd] == 1) {
+    e.bloom.add(cd);
+    if (batchedActive()) syncPlanes(e, cd.hash());
+  }
   e.exactHashes.increment(cd.hash());
   // A fresh subscription clears prunes of this CD and of anything below it.
   for (auto pit = e.pruned.begin(); pit != e.pruned.end();) {
@@ -21,6 +121,10 @@ bool SubscriptionTable::subscribe(NodeId face, const Name& cd) {
     } else {
       ++pit;
     }
+  }
+  if (batchedActive()) {
+    updatePrunedBit(e);
+    bumpVersion();
   }
   return ++globalRefcount_[cd] == 1;
 }
@@ -34,9 +138,14 @@ bool SubscriptionTable::unsubscribe(NodeId face, const Name& cd) {
   if (--cit->second == 0) {
     e.exact.erase(cit);
     e.bloom.remove(cd);
+    if (batchedActive()) syncPlanes(e, cd.hash());
   }
   e.exactHashes.decrement(cd.hash());
-  if (e.exact.empty()) table_.erase(it);
+  if (e.exact.empty()) {
+    if (batchedActive()) releaseSlot(e);
+    table_.erase(it);
+  }
+  if (batchedActive()) bumpVersion();
 
   const auto git = globalRefcount_.find(cd);
   if (git != globalRefcount_.end() && --git->second == 0) {
@@ -45,6 +154,8 @@ bool SubscriptionTable::unsubscribe(NodeId face, const Name& cd) {
   }
   return false;
 }
+
+// --- matching -------------------------------------------------------------
 
 bool SubscriptionTable::faceMatches(const FaceEntry& e,
                                     const std::vector<Name>& cds) const {
@@ -104,13 +215,124 @@ std::vector<NodeId> SubscriptionTable::matchFacesHashed(
   return out;
 }
 
-GCOPSS_HOT void SubscriptionTable::matchFacesHashedInto(const std::vector<Name>& cds,
+GCOPSS_HOT void SubscriptionTable::matchFacesScalarInto(const std::vector<Name>& cds,
                                              const std::vector<std::uint64_t>& prefixHashes,
                                              NodeId excludeFace, std::vector<NodeId>& out) const {
   out.clear();
   for (const auto& [face, entry] : table_) {
     if (face == excludeFace) continue;
     if (faceMatchesHashed(entry, cds, prefixHashes)) out.push_back(face);
+  }
+}
+
+GCOPSS_HOT void SubscriptionTable::matchFacesHashedInto(const std::vector<Name>& cds,
+                                             const std::vector<std::uint64_t>& prefixHashes,
+                                             NodeId excludeFace, std::vector<NodeId>& out) const {
+  if (!batchedActive()) {
+    matchFacesScalarInto(cds, prefixHashes, excludeFace, out);
+    return;
+  }
+  matchFacesHashedInto(cds, prefixHashes, foldHashes(prefixHashes.data(), prefixHashes.size()),
+                       excludeFace, out);
+}
+
+GCOPSS_HOT void SubscriptionTable::matchFacesHashedInto(const std::vector<Name>& cds,
+                                             const std::vector<std::uint64_t>& prefixHashes,
+                                             std::uint64_t matchKey, NodeId excludeFace,
+                                             std::vector<NodeId>& out) const {
+  if (!batchedActive()) {
+    matchFacesScalarInto(cds, prefixHashes, excludeFace, out);
+    return;
+  }
+  out.clear();
+  if (table_.empty()) return;
+  // Per-tick cache: publications fanning out through one hop within a tick
+  // overwhelmingly carry the same CD set (same region/zone), so the whole
+  // match — face list plus false-positive accounting — is replayed from the
+  // line. Bypassed while any face has prunes: those faces match on exact
+  // Names, and the line is keyed by hashes alone.
+  CacheLine* line = nullptr;
+  if (!cache_.empty() && prunedFaces_ == 0) {
+    const std::uint64_t tag =
+        mix64(matchKey ^ (0xda942042e4dd58b5ULL + static_cast<std::uint64_t>(excludeFace)));
+    line = &cache_[tag & (cache_.size() - 1)];
+    if (line->key == tag && line->version == version_) {
+      ++cacheHits_;
+      bloomFalsePositives_ += line->fpHits;
+      if (line->count <= CacheLine::kInlineFaces) {
+        out.insert(out.end(), line->faces, line->faces + line->count);
+      } else {
+        out.insert(out.end(), line->overflow.begin(), line->overflow.end());
+      }
+      return;
+    }
+    line->key = tag;
+  }
+  ++cacheMisses_;
+  const std::uint64_t fpBefore = bloomFalsePositives_;
+  sweepMatchInto(cds, prefixHashes, excludeFace, out);
+  if (line != nullptr) {
+    line->version = version_;
+    line->fpHits = static_cast<std::uint32_t>(bloomFalsePositives_ - fpBefore);
+    line->count = static_cast<std::uint32_t>(out.size());
+    if (out.size() <= CacheLine::kInlineFaces) {
+      std::copy(out.begin(), out.end(), line->faces);
+    } else {
+      line->overflow.assign(out.begin(), out.end());
+    }
+  }
+}
+
+GCOPSS_HOT void SubscriptionTable::sweepMatchInto(const std::vector<Name>& cds,
+                                       const std::vector<std::uint64_t>& prefixHashes,
+                                       NodeId excludeFace, std::vector<NodeId>& out) const {
+  const std::size_t W = planeWords_;
+  for (std::size_t w = 0; w < W; ++w) sweepMatched_[w] = 0;
+  std::uint32_t exSlot = kNoSlot;
+  if (excludeFace != kInvalidNode) {
+    const auto it = table_.find(excludeFace);
+    if (it != table_.end()) exSlot = it->second.slot;
+  }
+  for (std::uint64_t h : prefixHashes) {
+    // AND the k plane rows for this hash: a face's bit survives iff all of
+    // its counters at the probe positions are non-zero — exactly
+    // possiblyContains(h) for every face at once, one word per 64 faces.
+    bool first = true;
+    const bool candidates = probes_.forEachProbeWhile(h, [&](std::size_t idx) {
+      const std::uint64_t* row = &planes_[idx * W];
+      std::uint64_t any = 0;
+      for (std::size_t w = 0; w < W; ++w) {
+        const std::uint64_t v = first ? row[w] : (sweepHit_[w] & row[w]);
+        sweepHit_[w] = v;
+        any |= v;
+      }
+      first = false;
+      return any != 0;
+    });
+    if (!candidates) continue;
+    for (std::size_t w = 0; w < W; ++w) {
+      // A face is accounted at its first matching hash, like the scalar
+      // probe loop's early return; pruned faces take the exact-Name path
+      // below and the arrival face is never evaluated at all.
+      std::uint64_t newly = sweepHit_[w] & ~sweepMatched_[w] & ~prunedMask_[w];
+      if (exSlot != kNoSlot && exSlot / 64 == w) newly &= ~(1ull << (exSlot % 64));
+      sweepMatched_[w] |= newly;
+      while (newly != 0) {
+        const unsigned b = static_cast<unsigned>(__builtin_ctzll(newly));
+        newly &= newly - 1;
+        const std::uint32_t s = static_cast<std::uint32_t>(w * 64 + b);
+        if (!slotEntry_[s]->exactHashes.contains(h)) ++bloomFalsePositives_;
+      }
+    }
+  }
+  // Emit in table_ (ascending face) order — the scalar path's output order.
+  for (const auto& [face, e] : table_) {
+    if (face == excludeFace) continue;
+    if (!e.pruned.empty()) {
+      if (faceMatches(e, cds)) out.push_back(face);
+      continue;
+    }
+    if (sweepMatched_[e.slot / 64] & (1ull << (e.slot % 64))) out.push_back(face);
   }
 }
 
@@ -134,6 +356,10 @@ void SubscriptionTable::prune(NodeId face, const Name& cd) {
   const auto it = table_.find(face);
   if (it == table_.end()) return;
   it->second.pruned.insert(cd);
+  if (batchedActive()) {
+    updatePrunedBit(it->second);
+    bumpVersion();
+  }
 }
 
 bool SubscriptionTable::isPruned(NodeId face, const Name& cd) const {
@@ -195,6 +421,10 @@ void SubscriptionTable::corruptBloomForAudit(NodeId face, const Name& cd) {
   const auto it = table_.find(face);
   if (it == table_.end()) return;
   it->second.bloom.remove(cd);
+  if (batchedActive()) {
+    syncPlanes(it->second, cd.hash());
+    bumpVersion();
+  }
 }
 
 std::size_t SubscriptionTable::entryCount() const {

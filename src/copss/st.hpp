@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -17,16 +18,33 @@ namespace gcopss::copss {
 // every prefix of an incoming CD); the exact map supports Unsubscribe
 // refcounting, upstream aggregation decisions, and an exact-match mode used
 // by the ablation bench to quantify Bloom false-positive leakage.
+//
+// Two data-plane match implementations coexist (DESIGN.md §4e):
+//  - scalar: per-face hashed Bloom probes, the oracle;
+//  - batched (`Options::batchedMatch`): a transposed bit-plane index — for
+//    every Bloom counter index, a word holding one bit per face, set iff
+//    that face's counter is non-zero — swept word-parallel per prefix hash,
+//    fronted by a version-invalidated per-tick match cache keyed by the
+//    publication's folded prefix hashes. Match sets, output order and the
+//    bloomFalsePositives counter are byte-identical to scalar by contract
+//    (tests/test_batched_match.cpp).
 class SubscriptionTable {
  public:
   struct Options {
     bool useBloom = true;     // false = exact matching (ablation)
     std::size_t bloomBits = 1 << 14;
     unsigned bloomHashes = 7;
+    // Batched data plane: bit-plane sweep + per-tick match cache. false
+    // selects the scalar per-face probes (the equivalence oracle). Only
+    // meaningful with useBloom (the exact-match ablation stays scalar).
+    bool batchedMatch = true;
+    // Direct-mapped match-cache lines (rounded up to a power of two;
+    // 0 disables the cache but keeps the sweep).
+    std::size_t matchCacheSlots = 256;
   };
 
   SubscriptionTable() : SubscriptionTable(Options{}) {}
-  explicit SubscriptionTable(Options opts) : opts_(opts) {}
+  explicit SubscriptionTable(Options opts);
 
   // Returns true if this is the first subscription for `cd` across all faces
   // (i.e. the router should propagate the Subscribe upstream).
@@ -49,8 +67,24 @@ class SubscriptionTable {
                                        NodeId excludeFace = kInvalidNode) const;
 
   // Allocation-free variant for the per-hop fast path: clears `out` and
-  // fills it with the matching faces, reusing its capacity.
+  // fills it with the matching faces, reusing its capacity. Dispatches on
+  // Options::batchedMatch.
   void matchFacesHashedInto(const std::vector<Name>& cds,
+                            const std::vector<std::uint64_t>& prefixHashes, NodeId excludeFace,
+                            std::vector<NodeId>& out) const;
+
+  // Batch point used by the router's publish fan-out: `matchKey` is the
+  // packet's precomputed foldPrefixHashes() value, so a cache hit costs one
+  // mix and one probe instead of re-hashing the CD set at every hop.
+  void matchFacesHashedInto(const std::vector<Name>& cds,
+                            const std::vector<std::uint64_t>& prefixHashes,
+                            std::uint64_t matchKey, NodeId excludeFace,
+                            std::vector<NodeId>& out) const;
+
+  // The scalar oracle, always per-face probes regardless of the knob.
+  // Public so the equivalence suite can pit it against the batched path on
+  // the same table instance.
+  void matchFacesScalarInto(const std::vector<Name>& cds,
                             const std::vector<std::uint64_t>& prefixHashes, NodeId excludeFace,
                             std::vector<NodeId>& out) const;
 
@@ -83,6 +117,11 @@ class SubscriptionTable {
 
   std::uint64_t bloomFalsePositives() const { return bloomFalsePositives_; }
 
+  // Batched-path introspection (bench/tests): per-tick cache effectiveness.
+  std::uint64_t matchCacheHits() const { return cacheHits_; }
+  std::uint64_t matchCacheMisses() const { return cacheMisses_; }
+  bool batchedActive() const { return opts_.useBloom && opts_.batchedMatch; }
+
   const Options& options() const { return opts_; }
 
   // --- audit interface (src/check invariant checker) ---
@@ -100,15 +139,26 @@ class SubscriptionTable {
   // TEST-ONLY: desynchronise `face`'s Bloom filter from its exact map by
   // removing `cd` from the filter while the exact entry stays live — the
   // corruption the ST-soundness invariant exists to catch. Never call this
-  // outside a negative test of the invariant checker.
+  // outside a negative test of the invariant checker. The bit-plane mirror
+  // follows the corruption, as it would any counter transition.
   void corruptBloomForAudit(NodeId face, const Name& cd);
 
+  // The batched index holds raw pointers into `table_` map nodes (stable
+  // under std::map moves, not under copies).
+  SubscriptionTable(const SubscriptionTable&) = delete;
+  SubscriptionTable& operator=(const SubscriptionTable&) = delete;
+  SubscriptionTable(SubscriptionTable&&) = default;
+  SubscriptionTable& operator=(SubscriptionTable&&) = default;
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   struct FaceEntry {
     CountingBloomFilter bloom;
     std::map<Name, std::uint32_t> exact;  // cd -> refcount
     HashRefcountMap exactHashes;  // hash -> refcount
     std::set<Name> pruned;
+    std::uint32_t slot = kNoSlot;  // column in the bit-plane index
 
     FaceEntry(std::size_t bits, unsigned k) : bloom(bits, k) {}
   };
@@ -117,10 +167,57 @@ class SubscriptionTable {
   bool faceMatchesHashed(const FaceEntry& e, const std::vector<Name>& cds,
                          const std::vector<std::uint64_t>& prefixHashes) const;
 
+  // --- batched index maintenance (all control-plane / cold) ---
+  void attachSlot(NodeId face, FaceEntry& e);
+  void releaseSlot(FaceEntry& e);
+  void rebuildPlanes();
+  // Re-derive the plane bits for `e`'s column at every probe position of
+  // `nameHash` from the filter's counters — correct after any add/remove,
+  // including saturated and guarded (no-op) ones.
+  void syncPlanes(const FaceEntry& e, std::uint64_t nameHash);
+  void updatePrunedBit(const FaceEntry& e);
+  void bumpVersion() { ++version_; }
+
+  // The word-parallel sweep (batched path, cache miss).
+  void sweepMatchInto(const std::vector<Name>& cds,
+                      const std::vector<std::uint64_t>& prefixHashes, NodeId excludeFace,
+                      std::vector<NodeId>& out) const;
+
   Options opts_;
   std::map<NodeId, FaceEntry> table_;  // ordered for deterministic iteration
   std::map<Name, std::uint32_t> globalRefcount_;  // cd -> #faces subscribed
   mutable std::uint64_t bloomFalsePositives_ = 0;
+
+  // --- transposed bit-plane index (batchedMatch) ---
+  BloomProbeSchedule probes_;          // same geometry as every face filter
+  std::size_t planeWords_ = 0;         // 64-face words per counter row
+  std::vector<std::uint64_t> planes_;  // bloomBits rows x planeWords_ words
+  std::vector<const FaceEntry*> slotEntry_;  // column -> face entry (null = free)
+  std::vector<std::uint32_t> freeSlots_;
+  std::vector<std::uint64_t> prunedMask_;  // columns with active prunes
+  std::size_t prunedFaces_ = 0;            // faces with a non-empty prune set
+  std::uint64_t version_ = 0;              // bumped on any mutation
+
+  // --- per-tick match cache (publications sharing a CD set at one hop) ---
+  struct CacheLine {
+    // Typical fan-out is bounded by node degree; keeping it inline makes a
+    // cache hit touch only the line itself instead of hopping to a per-line
+    // heap block. Wider face lists (rare) spill to the overflow vector.
+    static constexpr std::uint32_t kInlineFaces = 12;
+    std::uint64_t key = 0;
+    std::uint64_t version = ~0ull;  // never equals a live version_
+    std::uint32_t fpHits = 0;       // bloomFalsePositives_ delta to replay
+    std::uint32_t count = 0;        // faces cached; > kInlineFaces => overflow
+    NodeId faces[kInlineFaces];
+    std::vector<NodeId> overflow;
+  };
+  mutable std::vector<CacheLine> cache_;
+  mutable std::uint64_t cacheHits_ = 0;
+  mutable std::uint64_t cacheMisses_ = 0;
+
+  // Sweep scratch, capacity-recycled across calls.
+  mutable std::vector<std::uint64_t> sweepHit_;
+  mutable std::vector<std::uint64_t> sweepMatched_;
 };
 
 }  // namespace gcopss::copss

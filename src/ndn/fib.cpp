@@ -13,15 +13,39 @@ GCOPSS_COLD void Fib::insert(const Name& prefix, NodeId face) {
   auto& names = NameTable::instance();
   TrieNode* node = &root_;
   NameId id = kRootNameId;
-  byId_.emplace(id, node);
   for (const auto& comp : prefix.components()) {
     auto& child = node->children[comp];
     if (!child) child = std::make_unique<TrieNode>();
     node = child.get();
     id = names.child(id, comp);
-    byId_.emplace(id, node);
   }
-  if (node->faces.insert(face).second) ++entries_;
+  if (node->faces.insert(face).second) {
+    ++entries_;
+    if (node->faces.size() == 1) {
+      flatInsert(static_cast<std::uint32_t>(prefix.size()), id, node);
+    }
+  }
+}
+
+// The per-depth index holds exactly the prefixes with faces; both
+// maintenance ends are cold control plane (sorted insert / linear erase).
+GCOPSS_COLD void Fib::flatInsert(std::uint32_t depth, NameId id, const TrieNode* node) {
+  if (byDepth_.size() <= depth) byDepth_.resize(depth + 1);
+  auto& level = byDepth_[depth];
+  const auto it = std::lower_bound(
+      level.begin(), level.end(), id,
+      [](const FlatEntry& e, NameId key) { return e.id < key; });
+  if (it != level.end() && it->id == id) return;  // already indexed
+  level.insert(it, FlatEntry{id, node});
+}
+
+GCOPSS_COLD void Fib::flatErase(std::uint32_t depth, NameId id) {
+  if (byDepth_.size() <= depth) return;
+  auto& level = byDepth_[depth];
+  const auto it = std::lower_bound(
+      level.begin(), level.end(), id,
+      [](const FlatEntry& e, NameId key) { return e.id < key; });
+  if (it != level.end() && it->id == id) level.erase(it);
 }
 
 const Fib::TrieNode* Fib::find(const Name& prefix) const {
@@ -44,6 +68,10 @@ bool Fib::remove(const Name& prefix, NodeId face) {
   }
   if (node->faces.erase(face) > 0) {
     --entries_;
+    if (node->faces.empty()) {
+      flatErase(static_cast<std::uint32_t>(prefix.size()),
+                NameTable::instance().find(prefix));
+    }
     return true;
   }
   return false;
@@ -56,8 +84,12 @@ void Fib::removePrefix(const Name& prefix) {
     if (it == node->children.end()) return;
     node = it->second.get();
   }
-  entries_ -= node->faces.size();
-  node->faces.clear();
+  if (!node->faces.empty()) {
+    entries_ -= node->faces.size();
+    node->faces.clear();
+    flatErase(static_cast<std::uint32_t>(prefix.size()),
+              NameTable::instance().find(prefix));
+  }
 }
 
 std::vector<NodeId> Fib::lpm(const Name& name) const {
@@ -80,11 +112,27 @@ std::vector<NodeId> Fib::lpm(NameId id) const {
 }
 
 GCOPSS_HOT const std::set<NodeId>* Fib::lpmFaces(NameId id) const {
+  if (byDepth_.empty()) return nullptr;
   const auto& names = NameTable::instance();
-  for (NameId cur = id;; cur = names.parent(cur)) {
-    const auto it = byId_.find(cur);
-    if (it != byId_.end() && !it->second->faces.empty()) return &it->second->faces;
-    if (cur == kRootNameId) return nullptr;
+  std::uint32_t depth = names.depth(id);
+  NameId cur = id;
+  // Nothing is registered deeper than byDepth_.size()-1: hop straight up to
+  // the deepest level that can match before touching any level array.
+  while (depth >= byDepth_.size()) {
+    cur = names.parent(cur);
+    --depth;
+  }
+  for (;;) {
+    const auto& level = byDepth_[depth];
+    if (!level.empty()) {
+      const auto it = std::lower_bound(
+          level.begin(), level.end(), cur,
+          [](const FlatEntry& e, NameId key) { return e.id < key; });
+      if (it != level.end() && it->id == cur) return &it->node->faces;
+    }
+    if (depth == 0) return nullptr;
+    cur = names.parent(cur);
+    --depth;
   }
 }
 

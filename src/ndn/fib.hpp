@@ -59,10 +59,22 @@ class Fib {
   };
   TrieNode root_;
   std::size_t entries_ = 0;  // number of (prefix,face) pairs
-  // Interned-prefix index over the same nodes, populated on insert. Nodes
-  // are never deallocated (remove only clears face sets), so raw pointers
-  // stay valid for the trie's lifetime.
-  std::unordered_map<NameId, const TrieNode*> byId_;
+  // Flattened LPM index (DESIGN.md §4e): one contiguous array per depth of
+  // (interned prefix id, trie node), sorted by id, holding exactly the
+  // prefixes with at least one registered face. A lookup walks `id`'s
+  // parent chain (the NameTable caches parent/depth) and binary-searches
+  // the level array at each depth — contiguous words instead of a hash-map
+  // probe per level, and depths with no registered prefix are skipped
+  // without touching memory. Nodes are never deallocated (remove only
+  // clears face sets), so raw pointers stay valid for the trie's lifetime.
+  struct FlatEntry {
+    NameId id;
+    const TrieNode* node;
+  };
+  std::vector<std::vector<FlatEntry>> byDepth_;
+
+  void flatInsert(std::uint32_t depth, NameId id, const TrieNode* node);
+  void flatErase(std::uint32_t depth, NameId id);
 
   const TrieNode* find(const Name& prefix) const;
 

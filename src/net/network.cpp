@@ -333,7 +333,7 @@ void Network::enqueueCpu(NodeId at, NodeId fromFace, PacketPtr pkt) {
   const SimTime done = start + n.serviceTime(pkt);
   n.cpuFreeAt_ = done;
   lsim.scheduleAt(done, [this, at, fromFace, p = std::move(pkt)]() mutable {
-    if (failed_.count(at)) {
+    if (!failed_.empty() && failed_.count(at)) {
       meterDrop();
       if (observer_) {
         observer_->onDrop(at, p, DropReason::CrashedQueued, node(at).shardSim_->now());

@@ -1,0 +1,376 @@
+// Batched-data-plane equivalence suite (DESIGN.md §4e).
+//
+// The bit-plane sweep + match cache behind SubscriptionTable's
+// Options::batchedMatch must be *byte-identical* to the scalar per-face
+// probes: same match set, same output order, same bloomFalsePositives
+// accounting — under churn, prunes, slot reuse across the 64-face word
+// boundary, and saturated Bloom counters. The scalar path stays compiled as
+// the oracle (matchFacesScalarInto) precisely so these tests can pit the two
+// against each other on the SAME table instance.
+//
+// The last tests close the loop end-to-end: whole-sim runs must produce
+// identical RunSummary digests across {scalar, batched} x {serial, 4 shards},
+// and the flattened per-depth CD-FIB must agree with the trie walk under
+// churn.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "copss/packets.hpp"
+#include "copss/st.hpp"
+#include "gcopss/experiment.hpp"
+#include "ndn/fib.hpp"
+
+namespace gcopss::test {
+namespace {
+
+using copss::MulticastPacket;
+using copss::SubscriptionTable;
+
+// Deterministic generator (no std::rand / random_device — determinism lint).
+struct Lcg {
+  std::uint64_t state;
+  explicit Lcg(std::uint64_t seed) : state(mix64(seed | 1)) {}
+  std::uint64_t next() { return state = mix64(state + 0x9e3779b97f4a7c15ULL); }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+// Hierarchical CD universe: /g<a>, /g<a>/r<b>, /g<a>/r<b>/c<c>.
+Name randomCd(Lcg& rng, std::uint64_t groups = 8) {
+  const auto a = rng.below(groups);
+  Name n = Name::parse("/g" + std::to_string(a));
+  if (rng.below(3) != 0) {
+    n = n.append("r" + std::to_string(rng.below(4)));
+    if (rng.below(2) != 0) n = n.append("c" + std::to_string(rng.below(3)));
+  }
+  return n;
+}
+
+// One publication's worth of match inputs, prefix hashes precomputed the way
+// the data plane does it (MulticastPacket's hash-at-first-hop).
+struct Pub {
+  std::vector<Name> cds;
+  std::vector<std::uint64_t> prefixHashes;
+  std::uint64_t matchKey;
+};
+
+Pub randomPub(Lcg& rng, std::uint64_t groups = 8) {
+  std::vector<Name> cds{randomCd(rng, groups)};
+  if (rng.below(4) == 0) cds.push_back(randomCd(rng, groups));
+  const MulticastPacket pkt(cds, 10, 0, 1, 0);
+  return Pub{pkt.cds, pkt.prefixHashes, pkt.matchKey};
+}
+
+// Run the same publication through the scalar oracle and the batched path
+// (both 4-arg dispatch and the 5-arg matchKey batch point), asserting
+// identical face vectors AND identical bloomFalsePositives deltas.
+void expectEquivalent(const SubscriptionTable& st, const Pub& pub, NodeId exclude) {
+  std::vector<NodeId> scalar, batched, keyed;
+
+  const auto fpBefore = st.bloomFalsePositives();
+  st.matchFacesScalarInto(pub.cds, pub.prefixHashes, exclude, scalar);
+  const auto fpScalar = st.bloomFalsePositives() - fpBefore;
+
+  const auto fpMid = st.bloomFalsePositives();
+  st.matchFacesHashedInto(pub.cds, pub.prefixHashes, exclude, batched);
+  const auto fpBatched = st.bloomFalsePositives() - fpMid;
+
+  const auto fpMid2 = st.bloomFalsePositives();
+  st.matchFacesHashedInto(pub.cds, pub.prefixHashes, pub.matchKey, exclude, keyed);
+  const auto fpKeyed = st.bloomFalsePositives() - fpMid2;
+
+  ASSERT_EQ(scalar, batched) << "batched sweep diverged from scalar oracle";
+  ASSERT_EQ(scalar, keyed) << "matchKey batch point diverged from scalar oracle";
+  ASSERT_EQ(fpScalar, fpBatched) << "false-positive accounting diverged (sweep)";
+  ASSERT_EQ(fpScalar, fpKeyed) << "false-positive accounting diverged (cache)";
+}
+
+// 70 faces forces planeWords_ > 1 (the index crosses the 64-face word
+// boundary), so the sweep's per-word loop and slot-column mapping both get
+// exercised, not just word 0.
+constexpr NodeId kFaces = 70;
+
+TEST(BatchedMatch, RandomChurnMatchesScalarOracle) {
+  SubscriptionTable st;  // batchedMatch defaults on
+  ASSERT_TRUE(st.batchedActive());
+  Lcg rng(2026);
+
+  // (face, cd) pairs we know are live, so unsubscribes hit real entries.
+  std::vector<std::pair<NodeId, Name>> live;
+  for (int round = 0; round < 40; ++round) {
+    for (int op = 0; op < 25; ++op) {
+      if (live.empty() || rng.below(3) != 0) {
+        const NodeId face = static_cast<NodeId>(rng.below(kFaces));
+        Name cd = randomCd(rng);
+        st.subscribe(face, cd);
+        live.emplace_back(face, std::move(cd));
+      } else {
+        const auto pick = rng.below(live.size());
+        st.unsubscribe(live[pick].first, live[pick].second);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    for (int p = 0; p < 12; ++p) {
+      const NodeId exclude =
+          rng.below(4) == 0 ? static_cast<NodeId>(rng.below(kFaces)) : kInvalidNode;
+      expectEquivalent(st, randomPub(rng), exclude);
+    }
+  }
+}
+
+TEST(BatchedMatch, PrunedFacesMatchScalarOracle) {
+  // Active prunes bypass the cache and push pruned faces down the textual
+  // slow path; the combined output must still be byte-identical to scalar.
+  SubscriptionTable st;
+  Lcg rng(7);
+  for (NodeId f = 0; f < 20; ++f) {
+    st.subscribe(f, Name::parse("/g" + std::to_string(f % 8)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    st.prune(static_cast<NodeId>(rng.below(20)), randomCd(rng));
+  }
+  for (int p = 0; p < 60; ++p) {
+    expectEquivalent(st, randomPub(rng),
+                     rng.below(3) == 0 ? static_cast<NodeId>(rng.below(20)) : kInvalidNode);
+  }
+  // Resubscribing ancestors clears prunes; the equivalence must survive the
+  // transition back to the cached path.
+  for (NodeId f = 0; f < 20; ++f) {
+    st.subscribe(f, Name::parse("/g" + std::to_string(f % 8)));
+  }
+  for (int p = 0; p < 30; ++p) expectEquivalent(st, randomPub(rng), kInvalidNode);
+}
+
+TEST(BatchedMatch, CacheHitReplaysFacesAndFalsePositives) {
+  SubscriptionTable st;
+  st.subscribe(1, Name::parse("/g1"));
+  st.subscribe(2, Name::parse("/g1/r2"));
+  st.subscribe(3, Name::parse("/g2"));
+
+  const MulticastPacket pkt({Name::parse("/g1/r2/c1")}, 10, 0, 1, 0);
+  std::vector<NodeId> first, second;
+  st.matchFacesHashedInto(pkt.cds, pkt.prefixHashes, pkt.matchKey, kInvalidNode, first);
+  const auto hits = st.matchCacheHits();
+  const auto fpBefore = st.bloomFalsePositives();
+  st.matchFacesHashedInto(pkt.cds, pkt.prefixHashes, pkt.matchKey, kInvalidNode, second);
+  EXPECT_EQ(st.matchCacheHits(), hits + 1) << "repeat publication must hit the cache";
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, (std::vector<NodeId>{1, 2}));
+
+  // The replayed false-positive delta must equal a fresh scalar evaluation's.
+  const auto fpCached = st.bloomFalsePositives() - fpBefore;
+  std::vector<NodeId> scalar;
+  const auto fpBefore2 = st.bloomFalsePositives();
+  st.matchFacesScalarInto(pkt.cds, pkt.prefixHashes, kInvalidNode, scalar);
+  EXPECT_EQ(fpCached, st.bloomFalsePositives() - fpBefore2);
+}
+
+TEST(BatchedMatch, MutationInvalidatesCache) {
+  SubscriptionTable st;
+  st.subscribe(1, Name::parse("/g1"));
+  const MulticastPacket pkt({Name::parse("/g1/r1")}, 10, 0, 1, 0);
+  std::vector<NodeId> faces;
+  st.matchFacesHashedInto(pkt.cds, pkt.prefixHashes, pkt.matchKey, kInvalidNode, faces);
+  EXPECT_EQ(faces, (std::vector<NodeId>{1}));
+
+  st.subscribe(2, Name::parse("/g1/r1"));  // bumps the table version
+  st.matchFacesHashedInto(pkt.cds, pkt.prefixHashes, pkt.matchKey, kInvalidNode, faces);
+  EXPECT_EQ(faces, (std::vector<NodeId>{1, 2})) << "stale cache line survived a mutation";
+
+  st.unsubscribe(1, Name::parse("/g1"));
+  st.matchFacesHashedInto(pkt.cds, pkt.prefixHashes, pkt.matchKey, kInvalidNode, faces);
+  EXPECT_EQ(faces, (std::vector<NodeId>{2}));
+}
+
+TEST(BatchedMatch, SlotReuseAfterFaceRemoval) {
+  // Kill entire faces (slot release) and add new ones (slot reuse, including
+  // reuse of freed columns) while matching stays equivalent throughout.
+  SubscriptionTable st;
+  Lcg rng(11);
+  for (NodeId f = 0; f < kFaces; ++f) {
+    st.subscribe(f, Name::parse("/g" + std::to_string(f % 8)));
+  }
+  for (int round = 0; round < 10; ++round) {
+    // Remove ~1/3 of the faces entirely...
+    for (NodeId f = 0; f < kFaces; ++f) {
+      if (rng.below(3) == 0) st.unsubscribe(f, Name::parse("/g" + std::to_string(f % 8)));
+    }
+    // ...and repopulate (some of these land in freed columns).
+    for (NodeId f = 0; f < kFaces; ++f) {
+      if (!st.faceSubscribed(f, Name::parse("/g" + std::to_string(f % 8)))) {
+        st.subscribe(f, Name::parse("/g" + std::to_string(f % 8)));
+      }
+    }
+    for (int p = 0; p < 10; ++p) expectEquivalent(st, randomPub(rng), kInvalidNode);
+  }
+}
+
+TEST(BatchedMatch, TinySaturatedFilterStaysEquivalent) {
+  // A deliberately undersized filter (64 counters, 2 hashes) saturates its
+  // 8-bit counters and rains false positives; syncPlanes re-derives plane
+  // bits from the counters, so even this pathological table must match the
+  // scalar oracle bit-for-bit — including the FP counter.
+  SubscriptionTable::Options opts;
+  opts.bloomBits = 64;
+  opts.bloomHashes = 2;
+  SubscriptionTable st(opts);
+  Lcg rng(13);
+
+  std::vector<std::pair<NodeId, Name>> live;
+  for (int i = 0; i < 600; ++i) {
+    const NodeId face = static_cast<NodeId>(rng.below(6));
+    Name cd = Name::parse("/g" + std::to_string(rng.below(4)))
+                  .append("x" + std::to_string(i));
+    st.subscribe(face, cd);
+    live.emplace_back(face, std::move(cd));
+  }
+  for (int p = 0; p < 40; ++p) expectEquivalent(st, randomPub(rng, 4), kInvalidNode);
+  // Drain back down through the saturation boundary.
+  while (!live.empty()) {
+    const auto pick = rng.below(live.size());
+    st.unsubscribe(live[pick].first, live[pick].second);
+    live[pick] = live.back();
+    live.pop_back();
+    if (live.size() % 97 == 0) {
+      for (int p = 0; p < 5; ++p) expectEquivalent(st, randomPub(rng, 4), kInvalidNode);
+    }
+  }
+}
+
+TEST(BatchedMatch, ScalarKnobDispatchesIdentically) {
+  // batchedMatch=false must route the public API through the scalar path and
+  // agree with a batched table fed the same subscriptions.
+  SubscriptionTable::Options scalarOpts;
+  scalarOpts.batchedMatch = false;
+  SubscriptionTable scalarSt(scalarOpts);
+  SubscriptionTable batchedSt;
+  ASSERT_FALSE(scalarSt.batchedActive());
+  Lcg rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId face = static_cast<NodeId>(rng.below(30));
+    const Name cd = randomCd(rng);
+    scalarSt.subscribe(face, cd);
+    batchedSt.subscribe(face, cd);
+  }
+  for (int p = 0; p < 50; ++p) {
+    const Pub pub = randomPub(rng);
+    std::vector<NodeId> a, b;
+    scalarSt.matchFacesHashedInto(pub.cds, pub.prefixHashes, kInvalidNode, a);
+    batchedSt.matchFacesHashedInto(pub.cds, pub.prefixHashes, kInvalidNode, b);
+    ASSERT_EQ(a, b);
+  }
+}
+
+// ---- end-to-end: whole-run digests across engine x match-path ----
+
+std::uint64_t summaryDigest(const gc::RunSummary& r) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto fold = [&h](std::uint64_t x) { h = mix64(h ^ x); };
+  fold(r.deliveries);
+  fold(r.eventsExecuted);
+  fold(r.bloomFalsePositives);
+  fold(r.linkPackets);
+  fold(r.drops);
+  fold(std::bit_cast<std::uint64_t>(r.meanMs));
+  fold(std::bit_cast<std::uint64_t>(r.p99Ms));
+  fold(std::bit_cast<std::uint64_t>(r.networkGB));
+  for (const auto& [ms, frac] : r.latencyCdfMs) {
+    fold(std::bit_cast<std::uint64_t>(ms));
+    fold(std::bit_cast<std::uint64_t>(frac));
+  }
+  return h;
+}
+
+TEST(BatchedMatch, FullRunDigestInvariantAcrossMatchPathAndEngine) {
+  game::GameMap map{std::vector<std::size_t>{2, 2}};
+  game::ObjectDatabase db{map, {6, 12, 24}};
+  trace::CsTraceConfig tcfg;
+  tcfg.players = 14;
+  tcfg.totalUpdates = 600;
+  tcfg.meanInterArrival = ms(5);
+  tcfg.playersPerAreaMin = 2;
+  tcfg.playersPerAreaMax = 2;
+  tcfg.seed = 99;
+  const auto trace = trace::generateCsTrace(map, db, tcfg);
+
+  std::vector<gc::RunSummary> runs;
+  std::vector<std::string> labels;
+  for (const bool batched : {false, true}) {
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+      gc::GCopssRunConfig cfg;
+      cfg.topo = gc::TopoKind::Bench6;
+      cfg.params = SimParams::microbench();
+      cfg.numRps = 2;
+      cfg.threads = threads;
+      cfg.stOptions.batchedMatch = batched;
+      runs.push_back(gc::runGCopssTrace(map, trace, cfg));
+      labels.push_back(std::string(batched ? "batched" : "scalar") + "/threads=" +
+                       std::to_string(threads));
+    }
+  }
+  // Integer outcomes are the determinism contract across BOTH axes: engine
+  // (serial vs sharded) and match path (scalar vs batched).
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].deliveries, runs[i].deliveries) << labels[i];
+    EXPECT_EQ(runs[0].eventsExecuted, runs[i].eventsExecuted) << labels[i];
+    EXPECT_EQ(runs[0].bloomFalsePositives, runs[i].bloomFalsePositives) << labels[i];
+    EXPECT_EQ(runs[0].linkPackets, runs[i].linkPackets) << labels[i];
+    EXPECT_EQ(runs[0].drops, runs[i].drops) << labels[i];
+  }
+  // Full digests (latency floats and CDF included) are bit-identical across
+  // the match path at a FIXED thread count — the batched data plane may not
+  // perturb a single latency sample relative to the scalar oracle.
+  EXPECT_EQ(summaryDigest(runs[0]), summaryDigest(runs[2]))
+      << "scalar/serial vs batched/serial";
+  EXPECT_EQ(summaryDigest(runs[1]), summaryDigest(runs[3]))
+      << "scalar/threads=4 vs batched/threads=4";
+}
+
+// ---- flattened CD-FIB vs trie-walk oracle ----
+
+TEST(BatchedMatch, FlatFibLpmMatchesTrieWalkUnderChurn) {
+  ndn::Fib fib;
+  auto& names = NameTable::instance();
+  Lcg rng(23);
+
+  std::vector<std::pair<Name, NodeId>> live;
+  for (int round = 0; round < 30; ++round) {
+    for (int op = 0; op < 15; ++op) {
+      if (live.empty() || rng.below(3) != 0) {
+        Name prefix = randomCd(rng);
+        const NodeId face = static_cast<NodeId>(rng.below(10));
+        fib.insert(prefix, face);
+        live.emplace_back(std::move(prefix), face);
+      } else {
+        const auto pick = rng.below(live.size());
+        fib.remove(live[pick].first, live[pick].second);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    for (int q = 0; q < 20; ++q) {
+      // Query names one level deeper than the registered universe too, so
+      // the interned walk's hop-down-past-byDepth_ path gets covered.
+      Name name = randomCd(rng);
+      if (rng.below(2) == 0) name = name.append("deep" + std::to_string(rng.below(3)));
+      const auto viaTrie = fib.lpm(name);
+      const auto viaFlat = fib.lpm(names.intern(name));
+      ASSERT_EQ(viaTrie, viaFlat) << "flat LPM diverged for " << name.toString();
+    }
+  }
+  // removePrefix (bulk face clear) must also unindex the level entry.
+  for (const auto& [prefix, face] : live) {
+    (void)face;
+    fib.removePrefix(prefix);
+    ASSERT_EQ(fib.lpm(prefix), fib.lpm(names.intern(prefix)));
+  }
+  EXPECT_TRUE(fib.lpm(Name::parse("/g1/r1")).empty());
+}
+
+}  // namespace
+}  // namespace gcopss::test

@@ -194,12 +194,14 @@ TEST(SeqWindow, MatchesRingPlusSetReference) {
 }
 
 TEST(SeqWindowMap, MatchesRingPlusMapReference) {
-  const std::size_t window = 128;
+  // 128 stays within the initial lazy ring; 1024 forces ring growth (and the
+  // slot-index rebase that goes with it) mid-churn.
+  for (const std::size_t window : {128ul, 1024ul}) {
   SeqWindowMap<std::vector<int>> map(window);
   std::unordered_map<std::uint64_t, std::vector<int>> ref;
   std::vector<std::uint64_t> refRing(window, 0);
   std::size_t refPos = 0;
-  Rng rng(77);
+  Rng rng(77 + window);
   for (int i = 0; i < 20000; ++i) {
     const std::uint64_t seq =
         1 + static_cast<std::uint64_t>(rng.uniformInt(0, static_cast<std::int64_t>(window) * 3));
@@ -218,6 +220,7 @@ TEST(SeqWindowMap, MatchesRingPlusMapReference) {
       val.push_back(face);
       it->second.push_back(face);
     }
+  }
   }
 }
 
